@@ -1,0 +1,186 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section and, per deliverable, registers one Bechamel
+   measurement per table/figure exercising that experiment's computational
+   kernel.
+
+   Usage:
+     dune exec bench/main.exe                 # quick scale (default)
+     LIGER_SCALE=full dune exec bench/main.exe
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel microbenches
+     dune exec bench/main.exe -- --micro-only # only the microbenches
+
+   The printed artefacts mirror the paper:
+     Table 1  - dataset statistics before/after filtering
+     Table 2  - code2vec / code2seq / DYPRO / LiGer on both naming corpora
+     Table 3  - DYPRO vs LiGer on the COSET analogue
+     Figure 6 - F1 under concrete- and symbolic-trace reduction
+     Figure 7 - the same reductions on the COSET task
+     Figures 8/9/10 - the ablation configurations under reduction
+     Figure 11 - all configurations overlaid
+     plus the 6.1.2 attention-weight inspection. *)
+
+open Bechamel
+open Liger_tensor
+open Liger_core
+open Liger_eval
+
+let say fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenches: the kernel behind each experiment            *)
+(* ------------------------------------------------------------------ *)
+
+type fixture = {
+  example : Common.enc_example;
+  liger : Liger_model.t;
+  liger_wrap : Train.model;
+  dypro : Train.model;
+  code2vec : Train.model;
+  code2seq : Train.model;
+  vocab : Liger_trace.Vocab.t;
+  candidates : Liger_testgen.Filter.candidate list;
+}
+
+let build_fixture () =
+  let rng = Rng.create 777 in
+  let enc =
+    { Common.default_enc_config with Common.max_paths = 4; max_concrete = 3; max_steps = 16 }
+  in
+  let corpus = Liger_dataset.Pipeline.build_naming ~enc_config:enc rng ~name:"bench" ~n:60 in
+  let example = List.hd corpus.Liger_dataset.Pipeline.train in
+  let vocab = corpus.Liger_dataset.Pipeline.vocab in
+  let train = corpus.Liger_dataset.Pipeline.train in
+  let liger_wrap, liger = Zoo.liger ~vocab Liger_model.Naming in
+  let candidates =
+    Liger_dataset.Javagen.generate (Rng.create 778) ~n:3
+    |> List.map (fun (it : Liger_dataset.Javagen.item) -> it.Liger_dataset.Javagen.candidate)
+  in
+  {
+    example;
+    liger;
+    liger_wrap;
+    dypro = Zoo.dypro ~vocab Liger_model.Naming;
+    code2vec = Zoo.code2vec ~train Liger_model.Naming;
+    code2seq = Zoo.code2seq ~train Liger_model.Naming;
+    vocab;
+    candidates;
+  }
+
+let train_step (wrap : Train.model) ex () =
+  let tape = Autodiff.tape () in
+  let loss = wrap.Train.train_loss tape ex in
+  Autodiff.backward tape loss;
+  Param.zero_grads wrap.Train.store
+
+let ablation_step fx ~seed config =
+  let w, _ = Zoo.liger ~config ~seed ~vocab:fx.vocab Liger_model.Naming in
+  train_step w fx.example
+
+let micro_tests fx =
+  let view_reduced = { Common.n_paths = 1; n_concrete = 1 } in
+  [
+    (* Table 1 kernel: the filtering pipeline over raw candidates *)
+    Test.make ~name:"table1/filter-pipeline"
+      (Staged.stage (fun () ->
+           let rng = Rng.create 1 in
+           let budget =
+             { Liger_testgen.Feedback.max_attempts = 15; target_paths = 2; per_path = 2;
+               fuel = 4000 }
+           in
+           List.iter
+             (fun c -> ignore (Liger_testgen.Filter.classify ~budget rng c))
+             fx.candidates));
+    (* Table 2 kernels: one training step per model *)
+    Test.make ~name:"table2/liger-step" (Staged.stage (train_step fx.liger_wrap fx.example));
+    Test.make ~name:"table2/dypro-step" (Staged.stage (train_step fx.dypro fx.example));
+    Test.make ~name:"table2/code2seq-step" (Staged.stage (train_step fx.code2seq fx.example));
+    Test.make ~name:"table2/code2vec-step" (Staged.stage (train_step fx.code2vec fx.example));
+    (* Table 3 kernel: program-embedding encode (the classifier input) *)
+    Test.make ~name:"table3/liger-encode"
+      (Staged.stage (fun () -> ignore (Liger_model.embed_program fx.liger fx.example)));
+    (* Figure 6/7 kernels: encoding under full vs reduced views *)
+    Test.make ~name:"fig6/encode-full"
+      (Staged.stage (fun () ->
+           ignore (Liger_model.embed_program fx.liger ~view:Common.full_view fx.example)));
+    Test.make ~name:"fig7/encode-reduced"
+      (Staged.stage (fun () ->
+           ignore (Liger_model.embed_program fx.liger ~view:view_reduced fx.example)));
+    (* Figures 8-11 kernels: one step of each ablation configuration *)
+    Test.make ~name:"fig8/nostatic-step"
+      (Staged.stage
+         (ablation_step fx ~seed:21
+            { Liger_model.default_config with Liger_model.use_static = false }));
+    Test.make ~name:"fig9/nodynamic-step"
+      (Staged.stage
+         (ablation_step fx ~seed:22
+            { Liger_model.default_config with Liger_model.use_dynamic = false }));
+    Test.make ~name:"fig10/noattention-step"
+      (Staged.stage
+         (ablation_step fx ~seed:23
+            { Liger_model.default_config with Liger_model.use_attention = false }));
+    Test.make ~name:"fig11/full-config-step"
+      (Staged.stage (train_step fx.liger_wrap fx.example));
+  ]
+
+let run_micro () =
+  say "\nBechamel microbenches (computational kernel of each table/figure)\n";
+  say "%s\n%!" (String.make 72 '-');
+  let fx = build_fixture () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let results = Benchmark.run cfg instances elt in
+          let estimate = Analyze.one ols (List.hd instances) results in
+          match Analyze.OLS.estimates estimate with
+          | Some [ t ] ->
+              say "  %-28s %12.1f us/run\n%!" (Test.Elt.name elt) (t /. 1000.0)
+          | _ -> say "  %-28s (no estimate)\n%!" (Test.Elt.name elt))
+        (Test.elements test))
+    (micro_tests fx);
+  say "%s\n" (String.make 72 '-')
+
+(* ------------------------------------------------------------------ *)
+(* The experiments themselves                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let t0 = Unix.gettimeofday () in
+  let ctx = Experiments.create_ctx () in
+  ctx.Experiments.progress <-
+    (fun s -> Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) s);
+  say "LiGer reproduction - evaluation at scale '%s'\n"
+    ctx.Experiments.scale.Experiments.label;
+  say "(set LIGER_SCALE=full for the larger configuration)\n\n%!";
+  Report.print_table1 (Experiments.table1 ctx);
+  say "\n";
+  Report.print_table2 (Experiments.table2 ctx);
+  say "\n";
+  Report.print_table3 (Experiments.table3 ctx);
+  say "\n";
+  Report.print_fig6 (Experiments.fig6 ctx);
+  say "\n";
+  Report.print_fig7 (Experiments.fig7 ctx);
+  say "\n";
+  Report.print_fig8 (Experiments.fig8 ctx);
+  say "\n";
+  Report.print_fig9 (Experiments.fig9 ctx);
+  say "\n";
+  Report.print_fig10 (Experiments.fig10 ctx);
+  say "\n";
+  Report.print_fig11 (Experiments.fig11 ctx);
+  say "\n";
+  Report.print_design_ablation (Experiments.design_ablation ctx);
+  say "\n";
+  Report.print_attention (Experiments.attention_report ctx);
+  say "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let no_micro = List.mem "--no-micro" args in
+  let micro_only = List.mem "--micro-only" args in
+  if not micro_only then run_experiments ();
+  if not no_micro then run_micro ()

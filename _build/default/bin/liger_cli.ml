@@ -1,0 +1,311 @@
+(* The liger command-line tool.
+
+   Subcommands:
+     trace    FILE   - run a MiniJava method on generated inputs and print
+                       Figure 2-style execution traces
+     paths    FILE   - bounded symbolic execution: enumerate paths, solve
+                       their conditions, print the discovered inputs
+     dataset         - generate a corpus and print Table 1-style statistics
+     train           - train a model on a generated corpus and report metrics
+     experiments     - run the paper's tables/figures (same as bench/main.exe)
+*)
+
+open Cmdliner
+open Liger_lang
+open Liger_trace
+open Liger_tensor
+open Liger_testgen
+open Liger_symexec
+open Liger_core
+open Liger_dataset
+open Liger_eval
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_method path =
+  match Parser.methods_of_string (read_file path) with
+  | [ m ] -> m
+  | m :: _ ->
+      Printf.eprintf "note: %s contains several methods; using '%s'\n" path m.Ast.mname;
+      m
+  | [] -> failwith "no method found"
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let run file n seed =
+    let meth = load_method file in
+    (match Typecheck.check meth with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "type error at line %d: %s" e.Typecheck.line e.Typecheck.msg));
+    let rng = Rng.create seed in
+    let result = Feedback.generate rng meth in
+    let traces = List.filteri (fun i _ -> i < n) result.Feedback.traces in
+    List.iter
+      (fun tr ->
+        Printf.printf "--- input: %s ---\n%s\n"
+          (String.concat ", " (List.map Value.to_display tr.Exec_trace.input))
+          (Exec_trace.to_display meth tr))
+      traces;
+    let blended = Feedback.blended meth result in
+    Printf.printf "%d distinct paths over %d executions\n" (List.length blended)
+      (Blended.total_executions blended)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of traces to print.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Execute a MiniJava method and print execution traces")
+    Term.(const run $ file $ n $ seed)
+
+(* ---------------- paths ---------------- *)
+
+let paths_cmd =
+  let run file seed =
+    let meth = load_method file in
+    let shape = Symexec.shape_of_params meth.Ast.params in
+    let results = Symexec.explore meth ~shape in
+    let rng = Rng.create seed in
+    Printf.printf "%d bounded symbolic paths:\n" (List.length results);
+    List.iteri
+      (fun i (r : Symexec.path_result) ->
+        match r.Symexec.outcome with
+        | Symexec.Sym_returned v ->
+            let solved =
+              match Symexec.concretize rng meth ~shape r with
+              | Some args ->
+                  Printf.sprintf "inputs: %s"
+                    (String.concat ", " (List.map Value.to_display args))
+              | None -> "condition not solved"
+            in
+            Printf.printf "  #%d returns %s | pc: %s | %s\n" i (Symval.to_string v)
+              (Path.to_string r.Symexec.pc) solved
+        | Symexec.Sym_aborted msg -> Printf.printf "  #%d aborted: %s\n" i msg)
+      results
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Enumerate and solve bounded symbolic paths")
+    Term.(const run $ file $ seed)
+
+(* ---------------- dataset ---------------- *)
+
+let dataset_cmd =
+  let run n seed coset =
+    let rng = Rng.create seed in
+    if coset then begin
+      let corpus = Pipeline.build_coset rng ~n in
+      Fmt.pr "%a@." Stats.pp corpus.Pipeline.stats
+    end
+    else begin
+      let corpus = Pipeline.build_naming rng ~name:"generated" ~n in
+      Fmt.pr "%a@." Stats.pp corpus.Pipeline.stats
+    end
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Corpus size to generate.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let coset =
+    Arg.(value & flag & info [ "coset" ] ~doc:"Generate the COSET analogue instead.")
+  in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Generate a corpus and print its statistics")
+    Term.(const run $ n $ seed $ coset)
+
+(* ---------------- model persistence ---------------- *)
+
+(* A saved model directory holds params.txt, vocab.txt and meta (dim). *)
+let save_model dir (model : Liger_model.t) vocab =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  Serialize.save_store (Liger_model.store model) (Filename.concat dir "params.txt");
+  Vocab.save vocab (Filename.concat dir "vocab.txt");
+  let oc = open_out (Filename.concat dir "meta") in
+  Printf.fprintf oc "dim %d\n" (Liger_model.store model |> fun _ -> model.Liger_model.config.Liger_model.dim);
+  close_out oc
+
+let load_model dir =
+  let vocab = Vocab.load (Filename.concat dir "vocab.txt") in
+  let ic = open_in (Filename.concat dir "meta") in
+  let dim =
+    match String.split_on_char ' ' (input_line ic) with
+    | [ "dim"; d ] -> int_of_string d
+    | _ -> failwith "bad meta file"
+  in
+  close_in ic;
+  let model =
+    Liger_model.create
+      ~config:{ Liger_model.default_config with Liger_model.dim }
+      vocab Liger_model.Naming
+  in
+  Serialize.load_store (Liger_model.store model) (Filename.concat dir "params.txt");
+  (model, vocab)
+
+(* ---------------- train ---------------- *)
+
+let train_cmd =
+  let run model_name n epochs dim seed save =
+    let rng = Rng.create seed in
+    Printf.printf "building corpus (n=%d)...\n%!" n;
+    let corpus = Pipeline.build_naming rng ~name:"cli" ~n in
+    let n_train, n_valid, n_test = Pipeline.sizes corpus in
+    Printf.printf "corpus: %d/%d/%d\n%!" n_train n_valid n_test;
+    let task = Liger_model.Naming in
+    let wrapper, liger_model =
+      match model_name with
+      | "liger" ->
+          let w, m =
+            Zoo.liger
+              ~config:{ Liger_model.default_config with Liger_model.dim }
+              ~vocab:corpus.Pipeline.vocab task
+          in
+          (w, Some m)
+      | "dypro" -> (Zoo.dypro ~dim ~vocab:corpus.Pipeline.vocab task, None)
+      | "code2vec" -> (Zoo.code2vec ~dim ~train:corpus.Pipeline.train task, None)
+      | "code2seq" -> (Zoo.code2seq ~dim ~train:corpus.Pipeline.train task, None)
+      | other -> failwith ("unknown model " ^ other)
+    in
+    Printf.printf "training %s (%d params, %d epochs)...\n%!" wrapper.Train.name
+      (Param.num_params wrapper.Train.store) epochs;
+    let history =
+      Train.fit
+        ~options:{ Train.default_options with Train.epochs }
+        (Rng.create (seed + 1)) wrapper ~train:corpus.Pipeline.train
+        ~valid:corpus.Pipeline.valid
+    in
+    Printf.printf "best epoch: %d\n" history.Train.best_epoch;
+    let r = Train.eval_naming wrapper corpus.Pipeline.test in
+    Fmt.pr "test: %a@." Metrics.pp_prf r.Train.prf;
+    match (save, liger_model) with
+    | Some dir, Some m ->
+        save_model dir m corpus.Pipeline.vocab;
+        Printf.printf "model saved to %s\n" dir
+    | Some _, None -> Printf.eprintf "--save currently supports --model liger only\n"
+    | None, _ -> ()
+  in
+  let model =
+    Arg.(value & opt string "liger"
+         & info [ "model" ] ~doc:"Model: liger, dypro, code2vec or code2seq.")
+  in
+  let n = Arg.(value & opt int 200 & info [ "n" ] ~doc:"Corpus size.") in
+  let epochs = Arg.(value & opt int 10 & info [ "epochs" ] ~doc:"Training epochs.") in
+  let dim = Arg.(value & opt int 16 & info [ "dim" ] ~doc:"Hidden size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~doc:"Directory to save the trained model (liger only).")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a model on a generated corpus")
+    Term.(const run $ model $ n $ epochs $ dim $ seed $ save)
+
+(* ---------------- predict ---------------- *)
+
+let predict_cmd =
+  let run file model_dir seed =
+    let meth = load_method file in
+    let model, vocab = load_model model_dir in
+    let rng = Rng.create seed in
+    let result = Feedback.generate rng meth in
+    if result.Feedback.gave_up then failwith "could not generate executions for this method";
+    let blended = Feedback.blended meth result in
+    let enc = Common.default_enc_config in
+    let ex = Common.encode_example enc vocab meth blended (Common.Name meth.Ast.mname) in
+    let tape = Autodiff.tape () in
+    let toks = Liger_model.predict_name model tape ex in
+    Autodiff.discard tape;
+    Printf.printf "method is named: %s\npredicted name:  %s (%s)\n" meth.Ast.mname
+      (Subtoken.join toks)
+      (String.concat " " toks)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let model_dir =
+    Arg.(required & opt (some dir) None & info [ "model" ] ~doc:"Saved model directory.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict a method's name with a saved LiGer model")
+    Term.(const run $ file $ model_dir $ seed)
+
+(* ---------------- similar ---------------- *)
+
+let similar_cmd =
+  let run file n k seed =
+    let meth = load_method file in
+    let rng = Rng.create seed in
+    Printf.printf "building a small corpus to search against (n=%d)...\n%!" n;
+    let corpus = Pipeline.build_naming rng ~name:"search" ~n in
+    let wrapper, model =
+      Zoo.liger ~vocab:corpus.Pipeline.vocab Liger_model.Naming
+    in
+    Printf.printf "training the encoder briefly...\n%!";
+    let (_ : Train.history) =
+      Train.fit
+        ~options:{ Train.default_options with Train.epochs = 6 }
+        (Rng.create (seed + 1)) wrapper ~train:corpus.Pipeline.train
+        ~valid:corpus.Pipeline.valid
+    in
+    let idx =
+      Embedding_index.of_examples model corpus.Pipeline.train
+        ~key_of:(fun (ex : Common.enc_example) -> ex.Common.meth.Ast.mname)
+    in
+    let result = Feedback.generate rng meth in
+    if result.Feedback.gave_up then failwith "could not generate executions";
+    let blended = Feedback.blended meth result in
+    let ex =
+      Common.encode_example Common.default_enc_config corpus.Pipeline.vocab meth blended
+        (Common.Name meth.Ast.mname)
+    in
+    Printf.printf "\nmethods semantically nearest to '%s':\n" meth.Ast.mname;
+    List.iter
+      (fun (score, key) -> Printf.printf "  %.3f  %s\n" score key)
+      (Embedding_index.query model idx ~k ex)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let n = Arg.(value & opt int 120 & info [ "n" ] ~doc:"Corpus size to index.") in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Neighbours to report.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "similar" ~doc:"Semantic code search: nearest programs by embedding")
+    Term.(const run $ file $ n $ k $ seed)
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_cmd =
+  let run which =
+    let ctx = Experiments.create_ctx () in
+    ctx.Experiments.progress <- (fun s -> Printf.eprintf "  %s\n%!" s);
+    let all = which = [] in
+    let want x = all || List.mem x which in
+    if want "table1" then Report.print_table1 (Experiments.table1 ctx);
+    if want "table2" then Report.print_table2 (Experiments.table2 ctx);
+    if want "table3" then Report.print_table3 (Experiments.table3 ctx);
+    if want "fig6" then Report.print_fig6 (Experiments.fig6 ctx);
+    if want "fig7" then Report.print_fig7 (Experiments.fig7 ctx);
+    if want "fig8" then Report.print_fig8 (Experiments.fig8 ctx);
+    if want "fig9" then Report.print_fig9 (Experiments.fig9 ctx);
+    if want "fig10" then Report.print_fig10 (Experiments.fig10 ctx);
+    if want "fig11" then Report.print_fig11 (Experiments.fig11 ctx);
+    if want "attn" then Report.print_attention (Experiments.attention_report ctx)
+  in
+  let which =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"EXPERIMENT"
+             ~doc:"Subset to run (table1 table2 table3 fig6..fig11 attn); all if empty.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the paper's evaluation (LIGER_SCALE=quick|full)")
+    Term.(const run $ which)
+
+let () =
+  let doc = "Blended, precise semantic program embeddings (LiGer, PLDI 2020)" in
+  let info = Cmd.info "liger" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ trace_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd; similar_cmd;
+            experiments_cmd ]))

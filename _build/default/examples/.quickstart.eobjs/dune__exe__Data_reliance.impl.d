@@ -1,0 +1,1 @@
+examples/data_reliance.ml: Common Liger_core Liger_dataset Liger_eval Liger_model Liger_tensor Metrics Pipeline Printf Rng Train Zoo

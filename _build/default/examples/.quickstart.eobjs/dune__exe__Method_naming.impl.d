@@ -1,0 +1,1 @@
+examples/method_naming.ml: Ast Common Fmt Liger_core Liger_dataset Liger_eval Liger_lang Liger_model Liger_tensor Liger_trace List Metrics Pipeline Printf Rng String Train Zoo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ast Blended Common Exec_trace Feedback Liger_core Liger_lang Liger_model Liger_tensor Liger_testgen Liger_trace List Parser Pretty Printf Rng String Value Vocab

@@ -1,0 +1,1 @@
+lib/baselines/ast_paths.ml: Array Encode Liger_tensor Liger_trace List Rng String

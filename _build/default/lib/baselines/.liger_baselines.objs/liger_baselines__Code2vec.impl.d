@@ -1,0 +1,1 @@
+lib/baselines/code2vec.ml: Array Ast_paths Autodiff Common Embedding_layer Encode Hashtbl Liger_core Liger_lang Liger_model Liger_nn Liger_tensor Liger_trace Linear List Param Rng Tensor Vocab

@@ -1,0 +1,1 @@
+lib/baselines/dypro.ml: Array Autodiff Common Decoder Embedding_layer Liger_core Liger_model Liger_nn Liger_tensor Liger_trace Linear List Param Rnn_cell Tensor Vocab

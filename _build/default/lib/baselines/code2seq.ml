@@ -1,0 +1,147 @@
+(** code2seq (Alon et al. 2019): the strongest static baseline in Table 2.
+
+    Differences from code2vec that matter here: terminals are decomposed
+    into {e sub-tokens} (summed embeddings), paths are encoded as node-type
+    {e sequences} by an RNN rather than hashed whole, and the method name is
+    {e generated} sub-token by sub-token with a decoder attending over the
+    encoded paths. *)
+
+open Liger_tensor
+open Liger_trace
+open Liger_nn
+open Liger_core
+open Liger_lang
+
+type enc_path = {
+  left : int list;   (* sub-token ids of the left terminal *)
+  path : int list;   (* node-type token ids along the path *)
+  right : int list;
+}
+
+type t = {
+  task : Liger_model.task;
+  store : Param.store;
+  vocab : Vocab.t;
+  embedding : Embedding_layer.t;
+  path_rnn : Rnn_cell.t;
+  combine : Linear.t;
+  decoder : Decoder.t option;
+  classifier : Linear.t option;
+  path_seed : int;
+  cache : (int, enc_path list) Hashtbl.t;
+}
+
+let create ?(dim = 16) ?(seed = 17) ?(path_seed = 2017) vocab (task : Liger_model.task) =
+  let store = Param.create_store ~seed () in
+  let embedding = Embedding_layer.create store "tok" vocab ~dim in
+  let path_rnn = Rnn_cell.create ~kind:Rnn_cell.Gru store "path" ~dim_in:dim ~dim_hidden:dim in
+  let combine = Linear.create store "combine" ~dim_in:(3 * dim) ~dim_out:dim in
+  let decoder, classifier =
+    match task with
+    | Liger_model.Naming ->
+        (Some (Decoder.create store "dec" embedding ~dim_hidden:dim ~dim_mem:dim), None)
+    | Liger_model.Classify n -> (None, Some (Linear.create store "cls" ~dim_in:dim ~dim_out:n))
+  in
+  { task; store; vocab; embedding; path_rnn; combine; decoder; classifier; path_seed; cache = Hashtbl.create 256 }
+
+let store t = t.store
+let num_params t = Param.num_params t.store
+
+let terminal_subtokens tok =
+  match Subtoken.split tok with [] -> [ tok ] | ts -> ts
+
+(** Register a method's sub-tokens and path node types into a building
+    vocabulary — call for every training method {e before} [create]. *)
+let register ?(path_seed = 2017) vocab (meth : Ast.meth) =
+  (* the method's own sub-tokens are decoder targets *)
+  List.iter (fun s -> ignore (Vocab.id vocab s)) (terminal_subtokens meth.Ast.mname);
+  let rng = Rng.create (path_seed + Hashtbl.hash meth.Ast.mname) in
+  let contexts = Ast_paths.extract rng (Encode.meth_tree meth) in
+  List.iter
+    (fun (c : Ast_paths.context) ->
+      List.iter (fun s -> ignore (Vocab.id vocab s)) (terminal_subtokens c.Ast_paths.left);
+      List.iter (fun s -> ignore (Vocab.id vocab s)) (terminal_subtokens c.Ast_paths.right);
+      List.iter (fun s -> ignore (Vocab.id vocab s)) c.Ast_paths.path)
+    contexts
+
+let paths_of t (ex : Common.enc_example) =
+  match Hashtbl.find_opt t.cache ex.Common.uid with
+  | Some ps -> ps
+  | None ->
+      let meth = ex.Common.meth in
+      let rng = Rng.create (t.path_seed + Hashtbl.hash meth.Ast.mname) in
+      let ps =
+        Ast_paths.extract rng (Encode.meth_tree meth)
+        |> List.map (fun (c : Ast_paths.context) ->
+               {
+                 left = List.map (Vocab.id t.vocab) (terminal_subtokens c.Ast_paths.left);
+                 path = List.map (Vocab.id t.vocab) c.Ast_paths.path;
+                 right = List.map (Vocab.id t.vocab) (terminal_subtokens c.Ast_paths.right);
+               })
+      in
+      Hashtbl.add t.cache ex.Common.uid ps;
+      ps
+
+(* code2seq owns its vocabulary (built over the raw sources, not traces), so
+   decoder targets are re-derived from the label rather than taken from the
+   example's main-vocabulary target ids. *)
+let target_ids t (ex : Common.enc_example) =
+  match ex.Common.label with
+  | Common.Name name -> List.map (Vocab.id t.vocab) (Subtoken.split name)
+  | Common.Class c -> [ c ]
+
+let sum_embeddings t tape ids =
+  match ids with
+  | [] -> Autodiff.const tape (Array.make (Embedding_layer.dim t.embedding) 0.0)
+  | first :: rest ->
+      List.fold_left
+        (fun acc id -> Autodiff.add tape acc (Embedding_layer.embed_id t.embedding tape id))
+        (Embedding_layer.embed_id t.embedding tape first)
+        rest
+
+let encode_path t tape (p : enc_path) =
+  let left = sum_embeddings t tape p.left in
+  let right = sum_embeddings t tape p.right in
+  let path =
+    Rnn_cell.last t.path_rnn tape
+      (List.map (Embedding_layer.embed_id t.embedding tape) p.path)
+  in
+  Linear.forward_tanh t.combine tape (Autodiff.concat tape [ left; path; right ])
+
+(** Encode a method: memory = the encoded paths; the "program embedding"
+    handed to the decoder is their mean. *)
+let encode t tape (ex : Common.enc_example) =
+  let encoded = List.map (encode_path t tape) (paths_of t ex) in
+  match encoded with
+  | [] ->
+      let z = Autodiff.const tape (Array.make (Embedding_layer.dim t.embedding) 0.0) in
+      (z, [| z |])
+  | _ ->
+      let memory = Array.of_list encoded in
+      (Autodiff.mean_pool tape memory, memory)
+
+let loss t tape (ex : Common.enc_example) =
+  let program_embedding, memory = encode t tape ex in
+  match (t.task, t.decoder, t.classifier) with
+  | Liger_model.Naming, Some dec, _ ->
+      Decoder.loss dec tape ~memory ~program_embedding ~target_ids:(target_ids t ex)
+  | Liger_model.Classify _, _, Some cls -> (
+      let logits = Linear.forward cls tape program_embedding in
+      match ex.Common.target_ids with
+      | [ c ] -> fst (Autodiff.softmax_cross_entropy tape logits c)
+      | _ -> invalid_arg "Code2seq.loss: classification target must be one class")
+  | _ -> invalid_arg "Code2seq.loss: task/head mismatch"
+
+let predict_name t tape (ex : Common.enc_example) =
+  match t.decoder with
+  | None -> invalid_arg "Code2seq.predict_name: not a naming model"
+  | Some dec ->
+      let program_embedding, memory = encode t tape ex in
+      List.map (Vocab.name t.vocab) (Decoder.decode dec tape ~memory ~program_embedding)
+
+let predict_class t tape (ex : Common.enc_example) =
+  match t.classifier with
+  | None -> invalid_arg "Code2seq.predict_class: not a classification model"
+  | Some cls ->
+      let program_embedding, _ = encode t tape ex in
+      Tensor.argmax (Autodiff.value (Linear.forward cls tape program_embedding))

@@ -1,0 +1,128 @@
+(** code2vec (Alon et al. 2019): the bag-of-path-contexts static baseline.
+
+    Each method is a bag of AST path contexts (left terminal, path, right
+    terminal); a context embeds as [tanh(W (left ++ path ++ right))]; a
+    global attention vector weights the contexts into a single code vector;
+    the prediction is a softmax over {e whole method names} seen in
+    training.  Predicting names as monolithic labels — rather than
+    composing sub-tokens — is code2vec's defining limitation and the reason
+    it trails code2seq in Table 2. *)
+
+open Liger_tensor
+open Liger_trace
+open Liger_nn
+open Liger_core
+
+type enc_context = { left : int; path : int; right : int }
+
+type t = {
+  store : Param.store;
+  vocab : Vocab.t;            (* terminal + path-token vocabulary *)
+  labels : Vocab.t;           (* whole-name label space *)
+  embedding : Embedding_layer.t;
+  combine : Linear.t;
+  attention_vec : Param.t;
+  out : Linear.t;
+  n_classes : int option;     (* Some n when used as a classifier instead *)
+  path_seed : int;
+  cache : (int, enc_context list) Hashtbl.t;
+}
+
+(** [create vocab ~labels task]: for naming, [labels] must contain every
+    training method name (built by {!register_names}); for classification,
+    pass the class count. *)
+let create ?(dim = 16) ?(seed = 13) ?(path_seed = 1013) vocab ~labels
+    (task : Liger_model.task) =
+  let store = Param.create_store ~seed () in
+  let n_out, n_classes =
+    match task with
+    | Liger_model.Naming -> (Vocab.size labels, None)
+    | Liger_model.Classify n -> (n, Some n)
+  in
+  {
+    store;
+    vocab;
+    labels;
+    embedding = Embedding_layer.create store "ctx" vocab ~dim;
+    combine = Linear.create store "combine" ~dim_in:(3 * dim) ~dim_out:dim;
+    attention_vec = Param.matrix store "att" 1 dim;
+    out = Linear.create store "out" ~dim_in:dim ~dim_out:n_out;
+    n_classes;
+    path_seed;
+    cache = Hashtbl.create 256;
+  }
+
+let store t = t.store
+let num_params t = Param.num_params t.store
+
+(** Register a method's tokens (and its name as a label) into building
+    vocabularies — call for every training method {e before} [create],
+    which freezes nothing itself but requires frozen vocabularies. *)
+let register ?(path_seed = 1013) vocab ~labels (meth : Liger_lang.Ast.meth) =
+  let rng = Rng.create (path_seed + Hashtbl.hash meth.Liger_lang.Ast.mname) in
+  let contexts = Ast_paths.extract rng (Encode.meth_tree meth) in
+  List.iter
+    (fun (c : Ast_paths.context) ->
+      ignore (Vocab.id vocab c.Ast_paths.left);
+      ignore (Vocab.id vocab (Ast_paths.path_token c));
+      ignore (Vocab.id vocab c.Ast_paths.right))
+    contexts;
+  ignore (Vocab.id labels meth.Liger_lang.Ast.mname)
+
+let contexts_of t (ex : Common.enc_example) =
+  match Hashtbl.find_opt t.cache ex.Common.uid with
+  | Some cs -> cs
+  | None ->
+      let meth = ex.Common.meth in
+      let rng = Rng.create (t.path_seed + Hashtbl.hash meth.Liger_lang.Ast.mname) in
+      let cs =
+        Ast_paths.extract rng (Encode.meth_tree meth)
+        |> List.map (fun (c : Ast_paths.context) ->
+               {
+                 left = Vocab.id t.vocab c.Ast_paths.left;
+                 path = Vocab.id t.vocab (Ast_paths.path_token c);
+                 right = Vocab.id t.vocab c.Ast_paths.right;
+               })
+      in
+      Hashtbl.add t.cache ex.Common.uid cs;
+      cs
+
+let code_vector t tape (ex : Common.enc_example) =
+  let contexts = contexts_of t ex in
+  let embed id = Embedding_layer.embed_id t.embedding tape id in
+  let vecs =
+    List.map
+      (fun c ->
+        Linear.forward_tanh t.combine tape
+          (Autodiff.concat tape [ embed c.left; embed c.path; embed c.right ]))
+      contexts
+  in
+  match vecs with
+  | [] -> Autodiff.const tape (Array.make (Embedding_layer.dim t.embedding) 0.0)
+  | _ ->
+      let vecs = Array.of_list vecs in
+      let scores =
+        Array.map (fun v -> Autodiff.matvec tape t.attention_vec v) vecs
+      in
+      let w = Autodiff.softmax tape (Autodiff.concat tape (Array.to_list scores)) in
+      Autodiff.weighted_sum tape w vecs
+
+let target_of t (ex : Common.enc_example) =
+  match (ex.Common.label, t.n_classes) with
+  | Common.Class c, Some _ -> c
+  | Common.Name name, None -> Vocab.id t.labels name
+  | _ -> invalid_arg "Code2vec: task/label mismatch"
+
+let loss t tape (ex : Common.enc_example) =
+  let logits = Linear.forward t.out tape (code_vector t tape ex) in
+  fst (Autodiff.softmax_cross_entropy tape logits (target_of t ex))
+
+(** Predicted sub-tokens: the argmax whole-name label, split. *)
+let predict_name t tape (ex : Common.enc_example) =
+  let logits = Linear.forward t.out tape (code_vector t tape ex) in
+  let label = Tensor.argmax (Autodiff.value logits) in
+  Liger_lang.Subtoken.split (Vocab.name t.labels label)
+
+let predict_class t tape (ex : Common.enc_example) =
+  let logits = Linear.forward t.out tape (code_vector t tape ex) in
+  Tensor.argmax (Autodiff.value logits)

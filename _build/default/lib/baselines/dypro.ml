@@ -1,0 +1,125 @@
+(** DYPRO (Wang 2019): the dynamic-only baseline.
+
+    DYPRO embeds each {e concrete} execution trace separately — there is no
+    symbolic dimension and no grouping by path — and pools the per-trace
+    embeddings into the program embedding.  Per §6.1 we feed it "the
+    variable names together with their values": each variable embeds as the
+    concatenation of its name-token embedding and its value embedding (an
+    RNN over the flattened value for composites), a state RNN folds the
+    variables, and a trace RNN folds the states.
+
+    Compared to LiGer's encoder this is exactly the "remove static features
+    and ungroup the traces" architecture the paper contrasts against
+    (§6.3.1 explains the difference from LiGer-without-static). *)
+
+open Liger_tensor
+open Liger_trace
+open Liger_nn
+open Liger_core
+
+type t = {
+  task : Liger_model.task;
+  store : Param.store;
+  vocab : Vocab.t;
+  embedding : Embedding_layer.t;
+  f1 : Rnn_cell.t;        (* value RNN *)
+  f2 : Rnn_cell.t;        (* state RNN over (name ++ value) vectors *)
+  trace_rnn : Rnn_cell.t;
+  decoder : Decoder.t option;
+  classifier : Linear.t option;
+}
+
+let create ?(dim = 16) ?(seed = 11) vocab (task : Liger_model.task) =
+  let store = Param.create_store ~seed () in
+  let embedding = Embedding_layer.create store "vocab" vocab ~dim in
+  let f1 = Rnn_cell.create ~kind:Rnn_cell.Vanilla store "f1" ~dim_in:dim ~dim_hidden:dim in
+  let f2 = Rnn_cell.create ~kind:Rnn_cell.Vanilla store "f2" ~dim_in:(2 * dim) ~dim_hidden:dim in
+  let trace_rnn = Rnn_cell.create ~kind:Rnn_cell.Gru store "trace" ~dim_in:dim ~dim_hidden:dim in
+  let decoder, classifier =
+    match task with
+    | Liger_model.Naming ->
+        (Some (Decoder.create store "dec" embedding ~dim_hidden:dim ~dim_mem:dim), None)
+    | Liger_model.Classify n -> (None, Some (Linear.create store "cls" ~dim_in:dim ~dim_out:n))
+  in
+  { task; store; vocab; embedding; f1; f2; trace_rnn; decoder; classifier }
+
+let store t = t.store
+let num_params t = Param.num_params t.store
+
+let embed_value t tape (tokens : int array) =
+  if Array.length tokens = 1 then Embedding_layer.embed_id t.embedding tape tokens.(0)
+  else
+    Rnn_cell.last t.f1 tape
+      (List.map (Embedding_layer.embed_id t.embedding tape) (Array.to_list tokens))
+
+let embed_state t tape ~var_name_ids (vars : int array array) =
+  let inputs =
+    List.mapi
+      (fun i tokens ->
+        let name_id =
+          if i < Array.length var_name_ids then var_name_ids.(i) else Vocab.unk_id
+        in
+        Autodiff.concat tape
+          [ Embedding_layer.embed_id t.embedding tape name_id; embed_value t tape tokens ])
+      (Array.to_list vars)
+  in
+  Rnn_cell.last t.f2 tape inputs
+
+(* Embed the k-th concrete trace of an encoded path. *)
+let encode_concrete t tape ~var_name_ids (tr : Common.enc_trace) k =
+  let h = ref (Rnn_cell.init_state t.trace_rnn tape) in
+  let mem = ref [] in
+  Array.iter
+    (fun (step : Common.enc_step) ->
+      let x = embed_state t tape ~var_name_ids step.Common.var_tokens.(k) in
+      h := Rnn_cell.step t.trace_rnn tape ~h:!h ~x;
+      mem := !h :: !mem)
+    tr.Common.steps;
+  (List.rev !mem, !h)
+
+(** Encode every concrete trace the view exposes; program embedding is the
+    max-pool over trace embeddings. *)
+let encode t tape ?(view = Common.full_view) (ex : Common.enc_example) =
+  let var_name_ids = ex.Common.var_name_ids in
+  let mems = ref [] and finals = ref [] in
+  Array.iter
+    (fun tr ->
+      for k = 0 to Common.select_concrete view tr - 1 do
+        let mem, final = encode_concrete t tape ~var_name_ids tr k in
+        mems := mem :: !mems;
+        finals := final :: !finals
+      done)
+    (Common.select_traces view ex);
+  let finals = Array.of_list (List.rev !finals) in
+  let program_embedding =
+    if Array.length finals = 0 then
+      Autodiff.const tape (Array.make (Rnn_cell.dim_hidden t.trace_rnn) 0.0)
+    else Autodiff.max_pool tape finals
+  in
+  (program_embedding, Array.of_list (List.concat (List.rev !mems)))
+
+let loss t tape ?view (ex : Common.enc_example) =
+  let program_embedding, memory = encode t tape ?view ex in
+  match (t.task, t.decoder, t.classifier) with
+  | Liger_model.Naming, Some dec, _ ->
+      Decoder.loss dec tape ~memory ~program_embedding ~target_ids:ex.Common.target_ids
+  | Liger_model.Classify _, _, Some cls -> (
+      let logits = Linear.forward cls tape program_embedding in
+      match ex.Common.target_ids with
+      | [ c ] -> fst (Autodiff.softmax_cross_entropy tape logits c)
+      | _ -> invalid_arg "Dypro.loss: classification target must be one class")
+  | _ -> invalid_arg "Dypro.loss: task/head mismatch"
+
+let predict_name t tape ?view (ex : Common.enc_example) =
+  match t.decoder with
+  | None -> invalid_arg "Dypro.predict_name: not a naming model"
+  | Some dec ->
+      let program_embedding, memory = encode t tape ?view ex in
+      List.map (Vocab.name t.vocab) (Decoder.decode dec tape ~memory ~program_embedding)
+
+let predict_class t tape ?view (ex : Common.enc_example) =
+  match t.classifier with
+  | None -> invalid_arg "Dypro.predict_class: not a classification model"
+  | Some cls ->
+      let program_embedding, _ = encode t tape ?view ex in
+      Tensor.argmax (Autodiff.value (Linear.forward cls tape program_embedding))

@@ -1,0 +1,1 @@
+lib/core/common.ml: Array Ast Blended Encode Liger_lang Liger_trace List Mincover Subtoken Vocab

@@ -1,0 +1,1 @@
+lib/core/embedding_index.ml: Array Liger_model List

@@ -1,0 +1,1 @@
+lib/core/liger_model.ml: Array Attention Autodiff Common Decoder Embedding_layer Float Hashtbl Liger_nn Liger_tensor Liger_trace Linear List Option Param Rnn_cell Tensor Treelstm Vocab

@@ -1,0 +1,152 @@
+(** Shared types for all models: labeled examples and their pre-interned
+    encodings.
+
+    Training touches every example once per epoch, so everything that does
+    not depend on the model parameters — statement trees, state token ids,
+    sub-token targets — is resolved against the frozen vocabulary once, when
+    the dataset is built.  Down-sampling experiments then merely select
+    sub-ranges of the encoded traces; they never re-run the encoder. *)
+
+open Liger_lang
+open Liger_trace
+
+type label =
+  | Name of string   (* method-name prediction: decoded as sub-tokens *)
+  | Class of int     (* semantics classification *)
+
+(** Statement trees with interned labels (fast TreeLSTM input). *)
+type itree = ILeaf of int | INode of int * itree list
+
+let rec intern_tree vocab = function
+  | Encode.Leaf tok -> ILeaf (Vocab.id vocab tok)
+  | Encode.Node (label, children) ->
+      INode (Vocab.id vocab label, List.map (intern_tree vocab) children)
+
+(** One encoded blended-trace step: the statement tree, a memoization key
+    (statements repeat across loop iterations, so per-forward TreeLSTM
+    results are cached on it), and per-concrete-trace per-variable token
+    ids. *)
+type enc_step = {
+  tree : itree;
+  memo_key : int;                 (* sid * 2 + branch bit *)
+  var_tokens : int array array array;  (* [concrete][variable][token] *)
+}
+
+type enc_trace = {
+  steps : enc_step array;
+  n_concrete : int;
+  n_lines : int;  (* lines this path covers; kept for reporting *)
+}
+
+type enc_example = {
+  uid : int;                 (* unique per encoded example; memoization key *)
+  meth : Ast.meth;
+  traces : enc_trace array;  (* in Mincover.reduction_order *)
+  label : label;
+  target_ids : int list;     (* Name: sub-token ids; Class: singleton *)
+  var_name_ids : int array;  (* "var_<x>" token per state-layout position;
+                                DYPRO consumes names alongside values (§6.1) *)
+}
+
+(** Encoding configuration: caps applied when interning. *)
+type enc_config = {
+  max_paths : int;     (* symbolic traces kept per method (full setting) *)
+  max_concrete : int;  (* concrete traces kept per path (full setting) *)
+  max_steps : int;     (* blended-trace truncation *)
+  trace_cfg : Encode.config;
+}
+
+let default_enc_config =
+  { max_paths = 6; max_concrete = 4; max_steps = 24; trace_cfg = Encode.default_config }
+
+let uid_counter = ref 0
+
+let fresh_uid () =
+  incr uid_counter;
+  !uid_counter
+
+let memo_key_of (step : Blended.step) =
+  (step.Blended.stmt.Ast.sid * 2)
+  + (match step.Blended.branch with Some true -> 1 | _ -> 0)
+
+(** Intern one blended trace. *)
+let encode_trace cfg vocab (b : Blended.t) : enc_trace =
+  let b = Blended.truncate cfg.max_steps (Blended.limit_concrete cfg.max_concrete b) in
+  let steps =
+    List.map
+      (fun (step : Blended.step) ->
+        let tree =
+          intern_tree vocab
+            (Encode.stmt_tree ?branch:step.Blended.branch step.Blended.stmt)
+        in
+        let var_tokens =
+          Array.map
+            (fun env ->
+              Array.of_list
+                (List.map
+                   (fun (_, toks) ->
+                     Array.of_list (List.map (Vocab.id vocab) toks))
+                   (Encode.state_tokens cfg.trace_cfg env)))
+            step.Blended.states
+        in
+        { tree; memo_key = memo_key_of step; var_tokens })
+      b.Blended.steps
+  in
+  {
+    steps = Array.of_list steps;
+    n_concrete = b.Blended.n_concrete;
+    n_lines = List.length b.Blended.lines;
+  }
+
+(** Intern one labeled method with its blended traces.  Traces are put in
+    {!Mincover.reduction_order} so that taking a prefix preserves line
+    coverage — the selection the symbolic-reduction experiments make. *)
+let encode_example cfg vocab meth (blended : Blended.t list) label : enc_example =
+  let ordered = Mincover.reduction_order blended in
+  let chosen = List.filteri (fun i _ -> i < cfg.max_paths) ordered in
+  let target_ids =
+    match label with
+    | Name name -> List.map (fun t -> Vocab.id vocab t) (Subtoken.split name)
+    | Class c -> [ c ]
+  in
+  let var_name_ids =
+    Array.of_list
+      (List.map (fun x -> Vocab.id vocab ("var_" ^ x)) (Ast.declared_vars meth))
+  in
+  {
+    uid = fresh_uid ();
+    meth;
+    traces = Array.of_list (List.map (encode_trace cfg vocab) chosen);
+    label;
+    target_ids;
+    var_name_ids;
+  }
+
+(** Register every token of [blended] (and the name's sub-tokens) into a
+    building vocabulary; call over the training split before freezing. *)
+let register_example cfg vocab (blended : Blended.t list) label =
+  List.iter (Encode.register_blended cfg.trace_cfg vocab) blended;
+  match label with
+  | Name name -> List.iter (fun t -> ignore (Vocab.id vocab t)) (Subtoken.split name)
+  | Class _ -> ()
+
+(* ---------------- run-time trace selection ---------------- *)
+
+(** A view selecting how much of an encoded example a model may see: the
+    down-sampling experiments shrink these two knobs. *)
+type view = { n_paths : int; n_concrete : int }
+
+let full_view = { n_paths = max_int; n_concrete = max_int }
+
+let select_traces view (ex : enc_example) =
+  let n = min (Array.length ex.traces) (max 1 view.n_paths) in
+  Array.sub ex.traces 0 n
+
+let select_concrete view (tr : enc_trace) = min tr.n_concrete (max 1 view.n_concrete)
+
+(** Total concrete executions a view exposes for an example (Figures 6/7's
+    x-axis bookkeeping). *)
+let executions_in_view view ex =
+  Array.fold_left
+    (fun acc tr -> acc + select_concrete view tr)
+    0 (select_traces view ex)

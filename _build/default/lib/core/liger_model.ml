@@ -1,0 +1,243 @@
+(** LiGer: the blended neural program-embedding model (§5).
+
+    The encoder follows Figure 5 layer by layer:
+
+    - {e Vocabulary embedding}: one table over D_s ∪ D_d ({!Embedding_layer}).
+    - {e Fusion}: per blended-trace step, a TreeLSTM embeds the statement
+      (static dimension), RNN f1 embeds each composite variable value and
+      RNN f2 each program state (dynamic dimension); attention a1 —
+      conditioned on the running trace embedding H^e_{i,j-1} — fuses the
+      feature vectors into one step embedding h_{i,j}.  The first step uses
+      even weights, as in the paper.
+    - {e Executions embedding}: RNN f3 folds the step embeddings into
+      H^e_{i,j}; the final state represents the whole blended trace.
+    - {e Programs embedding}: max-pooling over all blended traces yields
+      H_P.
+
+    For method-name prediction a decoder attends over the flow of all
+    blended traces ({!Liger_nn.Decoder}); for semantics classification the
+    decoder is replaced by a linear layer + softmax (§6.2).
+
+    The ablation switches of §6.3 are first-class: [use_static = false]
+    removes the statement component, [use_dynamic = false] gives statements
+    the full fusion weight, and [use_attention = false] distributes fusion
+    weights evenly. *)
+
+open Liger_tensor
+open Liger_trace
+open Liger_nn
+
+type task = Naming | Classify of int
+
+type config = {
+  dim : int;                 (* hidden size = embedding size *)
+  use_static : bool;
+  use_dynamic : bool;
+  use_attention : bool;
+  state_cell : Rnn_cell.kind;  (* f1/f2; vanilla, as in the paper *)
+  trace_cell : Rnn_cell.kind;  (* f3; GRU by default for trainability *)
+}
+
+let default_config =
+  {
+    dim = 16;
+    use_static = true;
+    use_dynamic = true;
+    use_attention = true;
+    state_cell = Rnn_cell.Vanilla;
+    trace_cell = Rnn_cell.Gru;
+  }
+
+type t = {
+  config : config;
+  task : task;
+  store : Param.store;
+  vocab : Vocab.t;
+  embedding : Embedding_layer.t;
+  treelstm : Treelstm.t option;
+  f1 : Rnn_cell.t option;
+  f2 : Rnn_cell.t option;
+  fusion : Attention.t option;
+  f3 : Rnn_cell.t;
+  decoder : Decoder.t option;
+  classifier : Linear.t option;
+}
+
+let create ?(config = default_config) ?(seed = 7) vocab task =
+  if not (config.use_static || config.use_dynamic) then
+    invalid_arg "Liger_model.create: at least one feature dimension required";
+  let store = Param.create_store ~seed () in
+  let d = config.dim in
+  let embedding = Embedding_layer.create store "vocab" vocab ~dim:d in
+  let treelstm =
+    if config.use_static then Some (Treelstm.create store "sta" ~dim_in:d ~dim_hidden:d)
+    else None
+  in
+  let f1 =
+    if config.use_dynamic then
+      Some (Rnn_cell.create ~kind:config.state_cell store "f1" ~dim_in:d ~dim_hidden:d)
+    else None
+  in
+  let f2 =
+    if config.use_dynamic then
+      Some (Rnn_cell.create ~kind:config.state_cell store "f2" ~dim_in:d ~dim_hidden:d)
+    else None
+  in
+  let fusion =
+    if config.use_attention && config.use_static && config.use_dynamic then
+      Some (Attention.create store "a1" ~dim_h:d ~dim_q:d ~dim_att:d)
+    else None
+  in
+  let f3 = Rnn_cell.create ~kind:config.trace_cell store "f3" ~dim_in:d ~dim_hidden:d in
+  let decoder, classifier =
+    match task with
+    | Naming -> (Some (Decoder.create store "dec" embedding ~dim_hidden:d ~dim_mem:d), None)
+    | Classify n -> (None, Some (Linear.create store "cls" ~dim_in:d ~dim_out:n))
+  in
+  { config; task; store; vocab; embedding; treelstm; f1; f2; fusion; f3; decoder; classifier }
+
+let store t = t.store
+let num_params t = Param.num_params t.store
+
+(* TreeLSTM over an interned tree. *)
+let rec itree_state t tape (tree : Common.itree) =
+  let cell = Option.get t.treelstm in
+  match tree with
+  | Common.ILeaf id -> Treelstm.node_state cell tape (Embedding_layer.embed_id t.embedding tape id) []
+  | Common.INode (id, children) ->
+      Treelstm.node_state cell tape
+        (Embedding_layer.embed_id t.embedding tape id)
+        (List.map (itree_state t tape) children)
+
+(* Embedding of one variable's value: a single token embeds directly
+   (primitive types), composites run through f1 (Equation 3). *)
+let embed_variable t tape (tokens : int array) =
+  if Array.length tokens = 1 then Embedding_layer.embed_id t.embedding tape tokens.(0)
+  else
+    let f1 = Option.get t.f1 in
+    Rnn_cell.last f1 tape
+      (List.map (Embedding_layer.embed_id t.embedding tape) (Array.to_list tokens))
+
+(* Embedding of one program state: f2 over the fixed-order variables. *)
+let embed_state t tape (vars : int array array) =
+  let f2 = Option.get t.f2 in
+  Rnn_cell.last f2 tape (List.map (embed_variable t tape) (Array.to_list vars))
+
+(** Per-encode diagnostics: average fusion attention allocated to the static
+    feature vector (§6.1.2 reports ~0.598). *)
+type stats = { mutable static_weight_sum : float; mutable fused_steps : int }
+
+let mean_static_weight s =
+  if s.fused_steps = 0 then Float.nan
+  else s.static_weight_sum /. float_of_int s.fused_steps
+
+(* Encode one blended trace; returns (per-step H^e_{i,j} list, final H^e_i). *)
+let encode_trace t tape ~view ~tree_memo ~stats (tr : Common.enc_trace) =
+  let n_concrete = Common.select_concrete view tr in
+  let h_trace = ref (Rnn_cell.init_state t.f3 tape) in
+  let mem = ref [] in
+  Array.iteri
+    (fun j (step : Common.enc_step) ->
+      let static_vec =
+        if t.config.use_static then
+          Some
+            (match Hashtbl.find_opt tree_memo step.Common.memo_key with
+            | Some h -> h
+            | None ->
+                let h = fst (itree_state t tape step.Common.tree) in
+                Hashtbl.add tree_memo step.Common.memo_key h;
+                h)
+        else None
+      in
+      let dyn_vecs =
+        if t.config.use_dynamic then
+          List.init n_concrete (fun k -> embed_state t tape step.Common.var_tokens.(k))
+        else []
+      in
+      let candidates =
+        Array.of_list (Option.to_list static_vec @ dyn_vecs)
+      in
+      let h_j =
+        if Array.length candidates = 1 then candidates.(0)
+        else
+          match t.fusion with
+          | Some att when j > 0 && t.config.use_attention ->
+              let w, fused = Attention.fuse att tape ~q:!h_trace candidates in
+              if t.config.use_static then begin
+                stats.static_weight_sum <- stats.static_weight_sum +. (Autodiff.value w).(0);
+                stats.fused_steps <- stats.fused_steps + 1
+              end;
+              fused
+          | _ -> snd (Attention.fuse_uniform tape candidates)
+      in
+      h_trace := Rnn_cell.step t.f3 tape ~h:!h_trace ~x:h_j;
+      mem := !h_trace :: !mem)
+    tr.Common.steps;
+  (List.rev !mem, !h_trace)
+
+(** Encode a whole program under a view; returns the program embedding H_P,
+    the decoder memory {H^e_{i,j}} and fusion statistics. *)
+let encode t tape ?(view = Common.full_view) (ex : Common.enc_example) =
+  let stats = { static_weight_sum = 0.0; fused_steps = 0 } in
+  let tree_memo = Hashtbl.create 32 in
+  let traces = Common.select_traces view ex in
+  let mems, finals =
+    Array.fold_left
+      (fun (mems, finals) tr ->
+        let mem, final = encode_trace t tape ~view ~tree_memo ~stats tr in
+        (mem :: mems, final :: finals))
+      ([], []) traces
+  in
+  let finals = Array.of_list (List.rev finals) in
+  let program_embedding =
+    if Array.length finals = 0 then Autodiff.const tape (Array.make t.config.dim 0.0)
+    else Autodiff.max_pool tape finals
+  in
+  let memory = Array.of_list (List.concat (List.rev mems)) in
+  (program_embedding, memory, stats)
+
+(** Training loss of one example (teacher-forced NLL for naming,
+    cross-entropy for classification). *)
+let loss t tape ?view (ex : Common.enc_example) =
+  let program_embedding, memory, stats = encode t tape ?view ex in
+  let l =
+    match (t.task, t.decoder, t.classifier) with
+    | Naming, Some dec, _ ->
+        Decoder.loss dec tape ~memory ~program_embedding ~target_ids:ex.Common.target_ids
+    | Classify _, _, Some cls -> (
+        let logits = Linear.forward cls tape program_embedding in
+        match ex.Common.target_ids with
+        | [ c ] -> fst (Autodiff.softmax_cross_entropy tape logits c)
+        | _ -> invalid_arg "Liger_model.loss: classification target must be one class")
+    | _ -> invalid_arg "Liger_model.loss: task/head mismatch"
+  in
+  (l, stats)
+
+(** Predict sub-token ids (naming) — greedy decoding. *)
+let predict_name_ids t tape ?view (ex : Common.enc_example) =
+  match t.decoder with
+  | None -> invalid_arg "Liger_model.predict_name_ids: not a naming model"
+  | Some dec ->
+      let program_embedding, memory, _ = encode t tape ?view ex in
+      Decoder.decode dec tape ~memory ~program_embedding
+
+(** Predict sub-tokens as strings. *)
+let predict_name t tape ?view ex =
+  List.map (Vocab.name t.vocab) (predict_name_ids t tape ?view ex)
+
+(** Predict a class id (classification). *)
+let predict_class t tape ?view (ex : Common.enc_example) =
+  match t.classifier with
+  | None -> invalid_arg "Liger_model.predict_class: not a classification model"
+  | Some cls ->
+      let program_embedding, _, _ = encode t tape ?view ex in
+      let logits = Linear.forward cls tape program_embedding in
+      Tensor.argmax (Autodiff.value logits)
+
+(** The program embedding vector itself (for downstream use / examples). *)
+let embed_program t ?view (ex : Common.enc_example) =
+  let tape = Autodiff.tape () in
+  let program_embedding, _, _ = encode t tape ?view ex in
+  let v = Array.copy (Autodiff.value program_embedding) in
+  Autodiff.discard tape;
+  v

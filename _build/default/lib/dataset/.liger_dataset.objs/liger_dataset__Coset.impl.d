@@ -1,0 +1,1 @@
+lib/dataset/coset.ml: Array Ast Fun Interp Liger_lang Liger_tensor Liger_testgen List Mutate Parser Rng Templates Typecheck Value

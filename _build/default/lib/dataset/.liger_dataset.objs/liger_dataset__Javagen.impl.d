@@ -1,0 +1,1 @@
+lib/dataset/javagen.ml: Array Ast Filter Liger_lang Liger_tensor Liger_testgen List Mutate Parser Rng Subtoken Templates

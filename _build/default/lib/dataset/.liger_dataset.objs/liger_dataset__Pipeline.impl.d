@@ -1,0 +1,1 @@
+lib/dataset/pipeline.ml: Ast Common Coset Feedback Filter Javagen Liger_core Liger_lang Liger_testgen Liger_trace List Stats Vocab

@@ -1,0 +1,1 @@
+lib/dataset/stats.ml: Filter Fmt Liger_testgen List Option

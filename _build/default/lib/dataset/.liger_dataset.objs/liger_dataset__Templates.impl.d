@@ -1,0 +1,1 @@
+lib/dataset/templates.ml: List

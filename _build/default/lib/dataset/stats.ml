@@ -1,0 +1,40 @@
+(** Dataset statistics: the Table 1 rows.
+
+    For each corpus analogue and each split we record the number of methods
+    generated ("Original") and the number surviving the filtering pipeline
+    ("Filtered"), plus the per-reason breakdown that the paper describes in
+    prose. *)
+
+open Liger_testgen
+
+type split_stats = { split_name : string; original : int; filtered : int }
+
+type table = {
+  dataset : string;
+  rows : split_stats list;  (* train / validation / test *)
+  reasons : (Filter.reason * int) list;  (* aggregated over splits *)
+}
+
+let total_original t = List.fold_left (fun a r -> a + r.original) 0 t.rows
+let total_filtered t = List.fold_left (fun a r -> a + r.filtered) 0 t.rows
+
+let merge_reasons acc more =
+  List.fold_left
+    (fun acc (r, n) ->
+      let rest = List.remove_assoc r acc in
+      (r, n + Option.value ~default:0 (List.assoc_opt r acc)) :: rest)
+    acc more
+
+(** Render in the paper's layout. *)
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s:@," t.dataset;
+  Fmt.pf ppf "  %-12s %10s %10s@," "Split" "Original" "Filtered";
+  List.iter
+    (fun r -> Fmt.pf ppf "  %-12s %10d %10d@," r.split_name r.original r.filtered)
+    t.rows;
+  Fmt.pf ppf "  %-12s %10d %10d@," "Total" (total_original t) (total_filtered t);
+  Fmt.pf ppf "  dropped:";
+  List.iter
+    (fun (r, n) -> Fmt.pf ppf " %s=%d" (Filter.reason_to_string r) n)
+    t.reasons;
+  Fmt.pf ppf "@]"

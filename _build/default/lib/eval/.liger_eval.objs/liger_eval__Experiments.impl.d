@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Array Autodiff Common Coset Float Hashtbl Lazy Liger_core Liger_dataset Liger_model Liger_nn Liger_tensor List Metrics Pipeline Printf Rng Sys Train Zoo

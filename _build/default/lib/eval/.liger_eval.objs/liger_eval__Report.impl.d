@@ -1,0 +1,1 @@
+lib/eval/report.ml: Experiments Float Fmt Liger_dataset List Metrics Printf String Train

@@ -1,0 +1,1 @@
+lib/eval/train.ml: Array Autodiff Common Liger_core Liger_lang Liger_tensor List Logs Metrics Optimizer Param Rng Tensor

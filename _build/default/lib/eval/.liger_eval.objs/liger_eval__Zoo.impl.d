@@ -1,0 +1,1 @@
+lib/eval/zoo.ml: Autodiff Code2seq Code2vec Common Dypro Liger_baselines Liger_core Liger_model Liger_tensor Liger_trace List Train Vocab

@@ -1,0 +1,73 @@
+(** Evaluation metrics.
+
+    Method-name prediction uses the metric of Alon et al. adopted in §6.1.1:
+    precision, recall and F1 over case-insensitive sub-tokens, order
+    ignored, aggregated micro-style over the whole test set (true positives
+    are multiset overlaps).  The worked examples from the paper hold:
+    predicting [diffCompute] for [computeDiff] is perfect; [compute] has
+    full precision but low recall; [computeFileDiff] has full recall but
+    low precision.
+
+    Classification reports accuracy and macro-F1. *)
+
+open Liger_lang
+
+type prf = { precision : float; recall : float; f1 : float }
+
+let f1_of precision recall =
+  if precision +. recall = 0.0 then 0.0
+  else 2.0 *. precision *. recall /. (precision +. recall)
+
+let prf ~tp ~n_predicted ~n_actual =
+  let precision = if n_predicted = 0 then 0.0 else float_of_int tp /. float_of_int n_predicted in
+  let recall = if n_actual = 0 then 0.0 else float_of_int tp /. float_of_int n_actual in
+  { precision; recall; f1 = f1_of precision recall }
+
+(** Score one prediction: lowercased sub-token multisets. *)
+let score_name ~predicted ~actual =
+  let predicted = List.map String.lowercase_ascii predicted in
+  let actual = List.map String.lowercase_ascii actual in
+  let tp = Subtoken.overlap predicted actual in
+  (tp, List.length predicted, List.length actual)
+
+(** Micro-aggregated sub-token P/R/F1 over (predicted, actual) pairs. *)
+let name_prf pairs =
+  let tp, np, na =
+    List.fold_left
+      (fun (tp, np, na) (predicted, actual) ->
+        let t, p, a = score_name ~predicted ~actual in
+        (tp + t, np + p, na + a))
+      (0, 0, 0) pairs
+  in
+  prf ~tp ~n_predicted:np ~n_actual:na
+
+(** Classification accuracy over (predicted, actual) class pairs. *)
+let accuracy pairs =
+  match pairs with
+  | [] -> 0.0
+  | _ ->
+      let correct = List.length (List.filter (fun (p, a) -> p = a) pairs) in
+      float_of_int correct /. float_of_int (List.length pairs)
+
+(** Macro-averaged F1 over the classes present in the gold labels. *)
+let macro_f1 pairs =
+  let classes = List.sort_uniq compare (List.map snd pairs) in
+  match classes with
+  | [] -> 0.0
+  | _ ->
+      let f1s =
+        List.map
+          (fun c ->
+            let tp = List.length (List.filter (fun (p, a) -> p = c && a = c) pairs) in
+            let fp = List.length (List.filter (fun (p, a) -> p = c && a <> c) pairs) in
+            let fn = List.length (List.filter (fun (p, a) -> p <> c && a = c) pairs) in
+            let precision = if tp + fp = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fp) in
+            let recall = if tp + fn = 0 then 0.0 else float_of_int tp /. float_of_int (tp + fn) in
+            f1_of precision recall)
+          classes
+      in
+      List.fold_left ( +. ) 0.0 f1s /. float_of_int (List.length f1s)
+
+let pp_prf ppf p =
+  Fmt.pf ppf "P=%.2f R=%.2f F1=%.2f" (100.0 *. p.precision) (100.0 *. p.recall)
+    (100.0 *. p.f1)

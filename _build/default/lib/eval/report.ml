@@ -1,0 +1,129 @@
+(** Rendering experiment results in the paper's table/series layouts. *)
+
+let pr fmt = Printf.printf fmt
+
+let hr () = pr "%s\n" (String.make 72 '-')
+
+let print_table1 tables =
+  pr "Table 1: dataset statistics (original vs filtered)\n";
+  hr ();
+  List.iter (fun t -> pr "%s\n" (Fmt.str "%a" Liger_dataset.Stats.pp t)) tables;
+  hr ()
+
+let prf_row (r : Experiments.run_result) =
+  match r.Experiments.naming with
+  | Some n ->
+      let p = n.Train.prf in
+      Printf.sprintf "%-18s %9.2f %9.2f %9.2f" r.Experiments.model
+        (100.0 *. p.Metrics.precision) (100.0 *. p.Metrics.recall) (100.0 *. p.Metrics.f1)
+  | None -> Printf.sprintf "%-18s (no naming result)" r.Experiments.model
+
+let print_table2 results =
+  pr "Table 2: method name prediction (sub-token metrics on the test split)\n";
+  hr ();
+  List.iter
+    (fun (dataset, rows) ->
+      pr "%s\n" dataset;
+      pr "  %-18s %9s %9s %9s\n" "Model" "Precision" "Recall" "F1";
+      List.iter (fun r -> pr "  %s\n" (prf_row r)) rows;
+      pr "\n")
+    results;
+  hr ()
+
+let print_table3 rows =
+  pr "Table 3: semantics classification on the COSET analogue\n";
+  hr ();
+  pr "  %-18s %9s %9s\n" "Model" "Accuracy" "F1";
+  List.iter
+    (fun (r : Experiments.run_result) ->
+      match r.Experiments.classify with
+      | Some c ->
+          pr "  %-18s %8.1f%% %9.2f\n" r.Experiments.model (100.0 *. c.Train.acc)
+            c.Train.f1
+      | None -> pr "  %-18s (no classification result)\n" r.Experiments.model)
+    rows;
+  hr ()
+
+let print_series ~x_label (s : Experiments.series) =
+  pr "  %-18s" s.Experiments.series_name;
+  List.iter
+    (fun (x, r) -> pr "  (%s=%g: %.2f)" x_label x (Experiments.score_of r))
+    s.Experiments.points;
+  pr "\n"
+
+let print_reduction_pair ~header (`Concrete concrete, `Symbolic symbolic) =
+  pr "%s\n" header;
+  pr " concrete-trace reduction (score vs #concrete per path):\n";
+  List.iter (print_series ~x_label:"n") concrete;
+  pr " symbolic-trace reduction, line coverage preserved (score vs #paths):\n";
+  List.iter (print_series ~x_label:"u") symbolic
+
+let print_fig6 results =
+  pr "Figure 6: LiGer vs DYPRO under trace reduction (F1)\n";
+  hr ();
+  List.iter
+    (fun (dataset, concrete, symbolic) ->
+      print_reduction_pair ~header:dataset (concrete, symbolic))
+    results;
+  hr ()
+
+let print_fig7 (concrete, symbolic) =
+  pr "Figure 7: COSET task under trace reduction (accuracy)\n";
+  hr ();
+  print_reduction_pair ~header:"COSET*" (concrete, symbolic);
+  hr ()
+
+let print_fig8 results =
+  pr "Figure 8: ablation - LiGer without static features\n";
+  hr ();
+  List.iter
+    (fun (dataset, concrete, symbolic) ->
+      print_reduction_pair ~header:dataset (concrete, symbolic))
+    results;
+  hr ()
+
+let print_fig9 results =
+  pr "Figure 9: ablation - LiGer without dynamic features (symbolic reduction)\n";
+  hr ();
+  List.iter
+    (fun (dataset, series) ->
+      pr "%s\n" dataset;
+      List.iter (print_series ~x_label:"u") series)
+    results;
+  hr ()
+
+let print_fig10 results =
+  pr "Figure 10: ablation - LiGer without attention\n";
+  hr ();
+  List.iter
+    (fun (dataset, concrete, symbolic) ->
+      print_reduction_pair ~header:dataset (concrete, symbolic))
+    results;
+  hr ()
+
+let print_fig11 results =
+  pr "Figure 11: all ablation configurations (symbolic reduction, F1)\n";
+  hr ();
+  List.iter
+    (fun (dataset, series) ->
+      pr "%s\n" dataset;
+      List.iter (print_series ~x_label:"u") series)
+    results;
+  hr ()
+
+let print_design_ablation rows =
+  pr "Design ablation: GRU trace RNN (ours) vs vanilla RNN (paper's f3)\n";
+  hr ();
+  pr "  %-18s %9s %9s %9s\n" "Config" "Precision" "Recall" "F1";
+  List.iter (fun r -> pr "  %s\n" (prf_row r)) rows;
+  hr ()
+
+let print_attention points =
+  pr "Attention inspection (6.1.2): mean fusion weight on the symbolic dimension\n";
+  hr ();
+  List.iter
+    (fun (n, w) ->
+      if Float.is_finite w then pr "  %d concrete traces per path: %.3f\n" n w
+      else pr "  %d concrete traces per path: n/a\n" n)
+    points;
+  hr ()

@@ -1,0 +1,138 @@
+(** The shared training loop.
+
+    Every model (LiGer, its ablations, DYPRO, code2vec, code2seq) is wrapped
+    in a {!model} record and trained identically: Adam, gradient clipping,
+    shuffled epochs, validation after each epoch, and the best-validation
+    parameters restored at the end — the standard protocol at this scale.
+    The paper trains with Adam at default rates on V100s; we keep the
+    optimizer family and shrink everything else. *)
+
+open Liger_tensor
+open Liger_core
+
+type prediction = Subtokens of string list | Class of int
+
+type model = {
+  name : string;
+  store : Param.store;
+  train_loss : Autodiff.tape -> Common.enc_example -> Autodiff.node;
+  predict : Common.enc_example -> prediction;
+}
+
+type options = {
+  epochs : int;
+  lr : float;
+  clip : float;
+  log : bool;
+  eval_every : int;  (* validate every k epochs (and always the last one) *)
+}
+
+let default_options = { epochs = 8; lr = 3e-3; clip = 5.0; log = false; eval_every = 1 }
+
+(* snapshot / restore parameter values (best-epoch selection) *)
+let snapshot store =
+  Param.fold store ~init:[] (fun acc p ->
+      (p.Param.name, Array.copy p.Param.value.Tensor.data) :: acc)
+
+let restore store snap =
+  List.iter
+    (fun (name, data) ->
+      let p = Param.find store name in
+      Array.blit data 0 p.Param.value.Tensor.data 0 (Array.length data))
+    snap
+
+(** Prediction/gold pairs over a split. *)
+let predictions model examples =
+  List.map
+    (fun (ex : Common.enc_example) ->
+      let gold =
+        match ex.Common.label with
+        | Common.Name n -> Subtokens (Liger_lang.Subtoken.split n)
+        | Common.Class c -> Class c
+      in
+      (model.predict ex, gold))
+    examples
+
+(** The scalar score used for model selection: sub-token F1 for naming,
+    accuracy for classification. *)
+let score model examples =
+  let pairs = predictions model examples in
+  let names =
+    List.filter_map
+      (function Subtokens p, Subtokens a -> Some (p, a) | _ -> None)
+      pairs
+  in
+  let classes =
+    List.filter_map (function Class p, Class a -> Some (p, a) | _ -> None) pairs
+  in
+  match (names, classes) with
+  | [], [] -> 0.0
+  | [], cs -> Metrics.accuracy cs
+  | ns, _ -> (Metrics.name_prf ns).Metrics.f1
+
+type history = {
+  train_losses : float list;  (* mean loss per epoch *)
+  valid_scores : float list;
+  best_epoch : int;
+}
+
+(** Train [model] on [train], selecting the epoch with the best score on
+    [valid]. *)
+let fit ?(options = default_options) rng model ~train ~valid =
+  let opt = Optimizer.adam ~lr:options.lr () in
+  let examples = Array.of_list train in
+  let best = ref (score model valid) in
+  let best_snap = ref (snapshot model.store) in
+  let best_epoch = ref 0 in
+  let losses = ref [] and scores = ref [] in
+  for epoch = 1 to options.epochs do
+    Rng.shuffle rng examples;
+    let total = ref 0.0 in
+    Array.iter
+      (fun ex ->
+        let tape = Autodiff.tape () in
+        let loss = model.train_loss tape ex in
+        total := !total +. Autodiff.scalar_value loss;
+        Autodiff.backward tape loss;
+        ignore (Optimizer.clip_grads model.store ~max_norm:options.clip);
+        Optimizer.step opt model.store)
+      examples;
+    let mean_loss =
+      if Array.length examples = 0 then 0.0
+      else !total /. float_of_int (Array.length examples)
+    in
+    losses := mean_loss :: !losses;
+    if epoch mod options.eval_every = 0 || epoch = options.epochs then begin
+      let v = score model valid in
+      scores := v :: !scores;
+      if options.log then
+        Logs.info (fun m ->
+            m "[%s] epoch %d: loss %.4f valid %.4f" model.name epoch mean_loss v);
+      if v > !best then begin
+        best := v;
+        best_snap := snapshot model.store;
+        best_epoch := epoch
+      end
+    end
+  done;
+  restore model.store !best_snap;
+  { train_losses = List.rev !losses; valid_scores = List.rev !scores; best_epoch = !best_epoch }
+
+(* ---------------- evaluation summaries ---------------- *)
+
+type naming_result = { prf : Metrics.prf }
+type classify_result = { acc : float; f1 : float }
+
+let eval_naming model examples =
+  let pairs =
+    predictions model examples
+    |> List.filter_map (function Subtokens p, Subtokens a -> Some (p, a) | _ -> None)
+  in
+  { prf = Metrics.name_prf pairs }
+
+let eval_classify model examples =
+  let pairs =
+    predictions model examples
+    |> List.filter_map (function Class p, Class a -> Some (p, a) | _ -> None)
+  in
+  { acc = Metrics.accuracy pairs; f1 = Metrics.macro_f1 pairs }

@@ -1,0 +1,1 @@
+lib/lang/interp.pp.ml: Array Ast Char Hashtbl List Option Pretty Printf String Value

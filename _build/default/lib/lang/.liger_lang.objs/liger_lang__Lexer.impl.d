@@ -1,0 +1,1 @@
+lib/lang/lexer.pp.ml: Buffer List Printf String Token

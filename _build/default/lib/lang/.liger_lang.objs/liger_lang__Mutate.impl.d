@@ -1,0 +1,1 @@
+lib/lang/mutate.pp.ml: Array Ast Fun Hashtbl Liger_tensor List Option Printf Rng

@@ -1,0 +1,1 @@
+lib/lang/pretty.pp.ml: Ast Buffer List Printf String

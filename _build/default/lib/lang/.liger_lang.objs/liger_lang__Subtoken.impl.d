@@ -1,0 +1,1 @@
+lib/lang/subtoken.pp.ml: Buffer Char Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/lang/token.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/lang/typecheck.pp.ml: Ast Hashtbl List Printf Result

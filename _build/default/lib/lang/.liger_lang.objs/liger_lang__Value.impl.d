@@ -1,0 +1,1 @@
+lib/lang/value.pp.ml: Array Ast List Ppx_deriving_runtime Printf String

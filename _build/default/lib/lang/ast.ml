@@ -1,0 +1,182 @@
+(** Abstract syntax for MiniJava, the small imperative Java-like language the
+    whole pipeline operates on.
+
+    MiniJava stands in for the paper's Java front-end (see DESIGN.md): it has
+    integers, booleans, strings, integer arrays and flat record objects,
+    assignments, conditionals, [while]/[for] loops and early returns — enough
+    to express every program class the paper's evaluation uses (sorting
+    routines, string manipulation, numeric algorithms).
+
+    Every statement carries a unique [sid] and a source [line]; symbolic
+    traces are sequences of [sid]s, and line coverage is computed over
+    [line]s. *)
+
+type typ =
+  | Tint
+  | Tbool
+  | Tstring
+  | Tarray  (* int[] *)
+  | Tobj    (* flat record of primitive fields *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq, ord]
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Index of expr * expr               (* a[i] *)
+  | Field of expr * string             (* o.f *)
+  | Len of expr                        (* a.length / s.length *)
+  | Call of string * expr list         (* builtin call *)
+  | NewArray of expr                   (* new int[e], zero-filled *)
+  | ArrayLit of expr list
+  | RecordLit of (string * expr) list  (* { f1: e1, ... } *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type stmt = { sid : int; line : int; node : stmt_node }
+
+and stmt_node =
+  | Decl of typ * string * expr
+  | Assign of string * expr
+  | StoreIndex of string * expr * expr  (* a[i] = e *)
+  | StoreField of string * string * expr  (* o.f = e *)
+  | If of expr * block * block          (* the If owns the condition's sid *)
+  | While of expr * block
+  | For of stmt * expr * stmt * block   (* for (init; cond; update) body *)
+  | Return of expr
+  | Break
+  | Continue
+
+and block = stmt list [@@deriving show { with_path = false }, eq, ord]
+
+(** A method: the unit of embedding, naming and classification. *)
+type meth = {
+  mname : string;
+  params : (typ * string) list;
+  ret : typ;
+  body : block;
+}
+[@@deriving show { with_path = false }, eq]
+
+(* --------------------------------------------------------------- *)
+(* Construction helpers: dataset templates build ASTs through these *)
+(* so fresh statement ids are always drawn from a shared counter.   *)
+(* --------------------------------------------------------------- *)
+
+let sid_counter = ref 0
+
+let fresh_sid () =
+  incr sid_counter;
+  !sid_counter
+
+let mk ?(line = 0) node = { sid = fresh_sid (); line; node }
+
+(** Iterate over every statement in a block, recursing into bodies. *)
+let rec iter_stmts f block =
+  List.iter
+    (fun s ->
+      f s;
+      match s.node with
+      | If (_, b1, b2) ->
+          iter_stmts f b1;
+          iter_stmts f b2
+      | While (_, b) -> iter_stmts f b
+      | For (init, _, update, b) ->
+          f init;
+          f update;
+          iter_stmts f b
+      | _ -> ())
+    block
+
+(** All statements of a method in syntactic order. *)
+let all_stmts meth =
+  let acc = ref [] in
+  iter_stmts (fun s -> acc := s :: !acc) meth.body;
+  List.rev !acc
+
+(** Distinct source lines covered by a method's statements. *)
+let all_lines meth =
+  all_stmts meth |> List.map (fun s -> s.line) |> List.sort_uniq compare
+
+(** Number of statements (a proxy for method size used by the dataset
+    filter's "too small" rule). *)
+let stmt_count meth = List.length (all_stmts meth)
+
+let rec map_expr f e =
+  let e' =
+    match e with
+    | Int _ | Bool _ | Str _ | Var _ -> e
+    | Binop (op, a, b) -> Binop (op, map_expr f a, map_expr f b)
+    | Unop (op, a) -> Unop (op, map_expr f a)
+    | Index (a, i) -> Index (map_expr f a, map_expr f i)
+    | Field (a, fld) -> Field (map_expr f a, fld)
+    | Len a -> Len (map_expr f a)
+    | Call (name, args) -> Call (name, List.map (map_expr f) args)
+    | NewArray a -> NewArray (map_expr f a)
+    | ArrayLit es -> ArrayLit (List.map (map_expr f) es)
+    | RecordLit fs -> RecordLit (List.map (fun (n, e) -> (n, map_expr f e)) fs)
+  in
+  f e'
+
+(** Structure-preserving statement map; statement ids and lines are kept so a
+    rewritten method stays aligned with its original coverage metadata. *)
+let rec map_block ~fexpr ~fstmt block =
+  List.map
+    (fun s ->
+      let node =
+        match s.node with
+        | Decl (t, x, e) -> Decl (t, x, map_expr fexpr e)
+        | Assign (x, e) -> Assign (x, map_expr fexpr e)
+        | StoreIndex (x, i, e) -> StoreIndex (x, map_expr fexpr i, map_expr fexpr e)
+        | StoreField (x, f, e) -> StoreField (x, f, map_expr fexpr e)
+        | If (c, b1, b2) ->
+            If (map_expr fexpr c, map_block ~fexpr ~fstmt b1, map_block ~fexpr ~fstmt b2)
+        | While (c, b) -> While (map_expr fexpr c, map_block ~fexpr ~fstmt b)
+        | For (init, c, update, b) ->
+            let init' = List.hd (map_block ~fexpr ~fstmt [ init ]) in
+            let update' = List.hd (map_block ~fexpr ~fstmt [ update ]) in
+            For (init', map_expr fexpr c, update', map_block ~fexpr ~fstmt b)
+        | Return e -> Return (map_expr fexpr e)
+        | (Break | Continue) as n -> n
+      in
+      fstmt { s with node })
+    block
+
+let map_meth ~fexpr ~fstmt m = { m with body = map_block ~fexpr ~fstmt m.body }
+
+(** Variables referenced anywhere in an expression. *)
+let rec expr_vars e =
+  match e with
+  | Int _ | Bool _ | Str _ -> []
+  | Var x -> [ x ]
+  | Binop (_, a, b) -> expr_vars a @ expr_vars b
+  | Unop (_, a) -> expr_vars a
+  | Index (a, i) -> expr_vars a @ expr_vars i
+  | Field (a, _) -> expr_vars a
+  | Len a -> expr_vars a
+  | Call (_, args) -> List.concat_map expr_vars args
+  | NewArray a -> expr_vars a
+  | ArrayLit es -> List.concat_map expr_vars es
+  | RecordLit fs -> List.concat_map (fun (_, e) -> expr_vars e) fs
+
+(** All variable names a method declares or binds (params first, declaration
+    order preserved) — the fixed state layout of Definition 2.1. *)
+let declared_vars meth =
+  let acc = ref (List.rev_map snd meth.params) in
+  iter_stmts
+    (fun s ->
+      match s.node with
+      | Decl (_, x, _) -> if not (List.mem x !acc) then acc := x :: !acc
+      | _ -> ())
+    meth.body;
+  List.rev !acc

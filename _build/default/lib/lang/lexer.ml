@@ -1,0 +1,112 @@
+(** Hand-written lexer for MiniJava source text. *)
+
+exception Lex_error of string * int  (* message, line *)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_alpha c || is_digit c
+
+(** Tokenize a whole source string.  Supports [//] line comments and
+    [/* */] block comments. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let emit tok = toks := { Token.tok; line = !line } :: !toks in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Lex_error ("unterminated block comment", !line))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (Token.INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word Token.keywords then emit (Token.KW word)
+      else emit (Token.IDENT word)
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        if c = '"' then begin closed := true; incr i end
+        else if c = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c' -> Buffer.add_char buf c');
+          i := !i + 2
+        end
+        else begin
+          if c = '\n' then raise (Lex_error ("newline in string literal", !line));
+          Buffer.add_char buf c;
+          incr i
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string literal", !line));
+      emit (Token.STRING (Buffer.contents buf))
+    end
+    else begin
+      let two tok = incr i; incr i; emit tok in
+      let one tok = incr i; emit tok in
+      match (c, peek 1) with
+      | '+', Some '=' -> two Token.PLUSEQ
+      | '+', Some '+' -> two Token.PLUSPLUS
+      | '+', _ -> one Token.PLUS
+      | '-', Some '=' -> two Token.MINUSEQ
+      | '-', Some '-' -> two Token.MINUSMINUS
+      | '-', _ -> one Token.MINUS
+      | '*', Some '=' -> two Token.STAREQ
+      | '*', _ -> one Token.STAR
+      | '/', Some '=' -> two Token.SLASHEQ
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | '<', Some '=' -> two Token.LE
+      | '<', _ -> one Token.LT
+      | '>', Some '=' -> two Token.GE
+      | '>', _ -> one Token.GT
+      | '=', Some '=' -> two Token.EQEQ
+      | '=', _ -> one Token.ASSIGN
+      | '!', Some '=' -> two Token.NE
+      | '!', _ -> one Token.BANG
+      | '&', Some '&' -> two Token.ANDAND
+      | '|', Some '|' -> two Token.OROR
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ',', _ -> one Token.COMMA
+      | ';', _ -> one Token.SEMI
+      | ':', _ -> one Token.COLON
+      | '.', _ -> one Token.DOT
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit Token.EOF;
+  List.rev !toks

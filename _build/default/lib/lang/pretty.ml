@@ -1,0 +1,119 @@
+(** Pretty-printer producing parseable MiniJava source. *)
+
+let typ_to_string = function
+  | Ast.Tint -> "int"
+  | Ast.Tbool -> "bool"
+  | Ast.Tstring -> "string"
+  | Ast.Tarray -> "int[]"
+  | Ast.Tobj -> "obj"
+
+let binop_to_string = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr_to_string e =
+  match e with
+  | Ast.Int n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Ast.Bool b -> string_of_bool b
+  | Ast.Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Ast.Var x -> x
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Ast.Unop (Ast.Not, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Ast.Field (a, f) -> Printf.sprintf "%s.%s" (expr_to_string a) f
+  | Ast.Len a -> Printf.sprintf "%s.length" (expr_to_string a)
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Ast.NewArray e -> Printf.sprintf "new int[%s]" (expr_to_string e)
+  | Ast.ArrayLit es ->
+      Printf.sprintf "[%s]" (String.concat ", " (List.map expr_to_string es))
+  | Ast.RecordLit fs ->
+      Printf.sprintf "{%s}"
+        (String.concat ", "
+           (List.map (fun (n, e) -> Printf.sprintf "%s: %s" n (expr_to_string e)) fs))
+
+let rec stmt_to_buf buf indent (s : Ast.stmt) =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (pad ^ str ^ "\n")) fmt in
+  match s.Ast.node with
+  | Ast.Decl (t, x, e) -> line "%s %s = %s;" (typ_to_string t) x (expr_to_string e)
+  | Ast.Assign (x, e) -> line "%s = %s;" x (expr_to_string e)
+  | Ast.StoreIndex (x, i, e) -> line "%s[%s] = %s;" x (expr_to_string i) (expr_to_string e)
+  | Ast.StoreField (x, f, e) -> line "%s.%s = %s;" x f (expr_to_string e)
+  | Ast.If (c, b1, b2) ->
+      line "if (%s) {" (expr_to_string c);
+      List.iter (stmt_to_buf buf (indent + 2)) b1;
+      if b2 = [] then line "}"
+      else begin
+        line "} else {";
+        List.iter (stmt_to_buf buf (indent + 2)) b2;
+        line "}"
+      end
+  | Ast.While (c, b) ->
+      line "while (%s) {" (expr_to_string c);
+      List.iter (stmt_to_buf buf (indent + 2)) b;
+      line "}"
+  | Ast.For (init, c, update, b) ->
+      let simple s =
+        match s.Ast.node with
+        | Ast.Decl (t, x, e) ->
+            Printf.sprintf "%s %s = %s" (typ_to_string t) x (expr_to_string e)
+        | Ast.Assign (x, e) -> Printf.sprintf "%s = %s" x (expr_to_string e)
+        | _ -> invalid_arg "Pretty: non-simple statement in for header"
+      in
+      line "for (%s; %s; %s) {" (simple init) (expr_to_string c) (simple update);
+      List.iter (stmt_to_buf buf (indent + 2)) b;
+      line "}"
+  | Ast.Return e -> line "return %s;" (expr_to_string e)
+  | Ast.Break -> line "break;"
+  | Ast.Continue -> line "continue;"
+
+let meth_to_string (m : Ast.meth) =
+  let buf = Buffer.create 256 in
+  let params =
+    String.concat ", "
+      (List.map (fun (t, x) -> Printf.sprintf "%s %s" (typ_to_string t) x) m.Ast.params)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "method %s(%s) : %s {\n" m.Ast.mname params (typ_to_string m.Ast.ret));
+  List.iter (stmt_to_buf buf 2) m.Ast.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** One-line rendering of a single statement (loop/if headers only), used
+    when tokenizing statements for the static feature dimension. *)
+let stmt_head_to_string (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.If (c, _, _) -> Printf.sprintf "if (%s)" (expr_to_string c)
+  | Ast.While (c, _) -> Printf.sprintf "while (%s)" (expr_to_string c)
+  | Ast.For (_, c, _, _) -> Printf.sprintf "for (;%s;)" (expr_to_string c)
+  | _ ->
+      let buf = Buffer.create 32 in
+      stmt_to_buf buf 0 s;
+      String.trim (Buffer.contents buf)

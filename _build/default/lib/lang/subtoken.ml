@@ -1,0 +1,60 @@
+(** Sub-token utilities for method names.
+
+    The paper's metric (§6.1.1) scores predictions "over case insensitive
+    sub-tokens": [computeDiff] splits into [compute] and [diff], order does
+    not matter, and duplicates are compared as multisets. *)
+
+let is_upper c = c >= 'A' && c <= 'Z'
+let lower c = if is_upper c then Char.chr (Char.code c + 32) else c
+
+(** Split a camelCase / snake_case identifier into lowercase sub-tokens:
+    [split "computeFileDiff" = ["compute"; "file"; "diff"]]. *)
+let split name =
+  let n = String.length name in
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = name.[i] in
+    if c = '_' then flush ()
+    else begin
+      if is_upper c then flush ();
+      Buffer.add_char buf (lower c)
+    end
+  done;
+  flush ();
+  List.rev !out
+
+(** Join sub-tokens back into a camelCase name. *)
+let join = function
+  | [] -> ""
+  | first :: rest ->
+      first
+      ^ String.concat ""
+          (List.map
+             (fun s ->
+               if s = "" then ""
+               else String.make 1 (Char.uppercase_ascii s.[0])
+                    ^ String.sub s 1 (String.length s - 1))
+             rest)
+
+(** Multiset intersection size between two sub-token lists — the numerator
+    of both precision and recall in the paper's metric. *)
+let overlap predicted actual =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun t -> Hashtbl.replace counts t (1 + Option.value ~default:0 (Hashtbl.find_opt counts t)))
+    actual;
+  List.fold_left
+    (fun acc t ->
+      match Hashtbl.find_opt counts t with
+      | Some n when n > 0 ->
+          Hashtbl.replace counts t (n - 1);
+          acc + 1
+      | _ -> acc)
+    0 predicted

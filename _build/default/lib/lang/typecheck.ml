@@ -1,0 +1,179 @@
+(** A simple static typechecker for MiniJava.
+
+    Mirrors the "does it compile" gate of the paper's dataset pipeline:
+    programs that fail here are rejected by the filter (Table 1's first
+    filtering reason).  Field types of [obj] values are not tracked
+    statically — field reads type as [int] unless proven otherwise at
+    runtime — matching Java's behaviour after the paper's serialization of
+    objects to primitive arrays. *)
+
+type error = { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> Error { line; msg }) fmt
+
+let ( let* ) = Result.bind
+
+let builtin_sig = function
+  | "abs" -> Some ([ Ast.Tint ], Ast.Tint)
+  | "min" | "max" | "pow" -> Some ([ Ast.Tint; Ast.Tint ], Ast.Tint)
+  | "substring" -> Some ([ Ast.Tstring; Ast.Tint; Ast.Tint ], Ast.Tstring)
+  | "charAt" -> Some ([ Ast.Tstring; Ast.Tint ], Ast.Tstring)
+  | "indexOf" -> Some ([ Ast.Tstring; Ast.Tstring ], Ast.Tint)
+  | "ord" -> Some ([ Ast.Tstring ], Ast.Tint)
+  | "chr" -> Some ([ Ast.Tint ], Ast.Tstring)
+  | "toString" -> Some ([ Ast.Tint ], Ast.Tstring)
+  | _ -> None
+
+type ctx = (string, Ast.typ) Hashtbl.t
+
+let rec type_expr (ctx : ctx) line (e : Ast.expr) : (Ast.typ, error) result =
+  match e with
+  | Ast.Int _ -> Ok Ast.Tint
+  | Ast.Bool _ -> Ok Ast.Tbool
+  | Ast.Str _ -> Ok Ast.Tstring
+  | Ast.Var x -> (
+      match Hashtbl.find_opt ctx x with
+      | Some t -> Ok t
+      | None -> err line "unbound variable %s" x)
+  | Ast.Unop (Ast.Neg, a) ->
+      let* t = type_expr ctx line a in
+      if t = Ast.Tint then Ok Ast.Tint else err line "negation of non-int"
+  | Ast.Unop (Ast.Not, a) ->
+      let* t = type_expr ctx line a in
+      if t = Ast.Tbool then Ok Ast.Tbool else err line "negation of non-bool"
+  | Ast.Binop (op, a, b) -> (
+      let* ta = type_expr ctx line a in
+      let* tb = type_expr ctx line b in
+      match op with
+      | Ast.Add when ta = Ast.Tstring && tb = Ast.Tstring -> Ok Ast.Tstring
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          if ta = Ast.Tint && tb = Ast.Tint then Ok Ast.Tint
+          else err line "arithmetic on non-ints"
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          if ta = Ast.Tint && tb = Ast.Tint then Ok Ast.Tbool
+          else err line "comparison of non-ints"
+      | Ast.Eq | Ast.Ne ->
+          if ta = tb then Ok Ast.Tbool else err line "equality on mismatched types"
+      | Ast.And | Ast.Or ->
+          if ta = Ast.Tbool && tb = Ast.Tbool then Ok Ast.Tbool
+          else err line "logical op on non-bools")
+  | Ast.Index (a, i) ->
+      let* ta = type_expr ctx line a in
+      let* ti = type_expr ctx line i in
+      if ta <> Ast.Tarray then err line "indexing a non-array"
+      else if ti <> Ast.Tint then err line "non-int index"
+      else Ok Ast.Tint
+  | Ast.Field (a, f) ->
+      let* ta = type_expr ctx line a in
+      if ta <> Ast.Tobj then err line "field access .%s on a non-object" f
+      else Ok Ast.Tint (* field types are dynamic; ints dominate our corpora *)
+  | Ast.Len a ->
+      let* ta = type_expr ctx line a in
+      if ta = Ast.Tarray || ta = Ast.Tstring then Ok Ast.Tint
+      else err line ".length on a value that has no length"
+  | Ast.Call (f, args) -> (
+      match builtin_sig f with
+      | None -> err line "unknown function %s" f
+      | Some (param_tys, ret) ->
+          if List.length args <> List.length param_tys then
+            err line "%s expects %d arguments" f (List.length param_tys)
+          else
+            let rec check = function
+              | [], [] -> Ok ret
+              | a :: args, t :: tys ->
+                  let* ta = type_expr ctx line a in
+                  if ta = t then check (args, tys)
+                  else err line "argument type mismatch in call to %s" f
+              | _ -> assert false
+            in
+            check (args, param_tys))
+  | Ast.NewArray e ->
+      let* t = type_expr ctx line e in
+      if t = Ast.Tint then Ok Ast.Tarray else err line "non-int array size"
+  | Ast.ArrayLit es ->
+      let rec check = function
+        | [] -> Ok Ast.Tarray
+        | e :: rest ->
+            let* t = type_expr ctx line e in
+            if t = Ast.Tint then check rest else err line "non-int array element"
+      in
+      check es
+  | Ast.RecordLit fs ->
+      let rec check = function
+        | [] -> Ok Ast.Tobj
+        | (_, e) :: rest ->
+            let* _ = type_expr ctx line e in
+            check rest
+      in
+      check fs
+
+let rec check_block ctx ret block =
+  match block with
+  | [] -> Ok ()
+  | s :: rest ->
+      let* () = check_stmt ctx ret s in
+      check_block ctx ret rest
+
+and check_stmt ctx ret (s : Ast.stmt) =
+  let line = s.Ast.line in
+  match s.Ast.node with
+  | Ast.Decl (t, x, e) ->
+      let* te = type_expr ctx line e in
+      if te <> t then err line "initializer type mismatch for %s" x
+      else begin
+        Hashtbl.replace ctx x t;
+        Ok ()
+      end
+  | Ast.Assign (x, e) -> (
+      match Hashtbl.find_opt ctx x with
+      | None -> err line "assignment to undeclared variable %s" x
+      | Some t ->
+          let* te = type_expr ctx line e in
+          if te <> t then err line "assignment type mismatch for %s" x else Ok ())
+  | Ast.StoreIndex (x, i, e) -> (
+      match Hashtbl.find_opt ctx x with
+      | Some Ast.Tarray ->
+          let* ti = type_expr ctx line i in
+          let* te = type_expr ctx line e in
+          if ti <> Ast.Tint then err line "non-int index"
+          else if te <> Ast.Tint then err line "non-int array element"
+          else Ok ()
+      | Some _ -> err line "%s is not an array" x
+      | None -> err line "unbound variable %s" x)
+  | Ast.StoreField (x, _, e) -> (
+      match Hashtbl.find_opt ctx x with
+      | Some Ast.Tobj ->
+          let* _ = type_expr ctx line e in
+          Ok ()
+      | Some _ -> err line "%s is not an object" x
+      | None -> err line "unbound variable %s" x)
+  | Ast.If (c, b1, b2) ->
+      let* tc = type_expr ctx line c in
+      if tc <> Ast.Tbool then err line "non-bool condition"
+      else
+        let* () = check_block ctx ret b1 in
+        check_block ctx ret b2
+  | Ast.While (c, b) ->
+      let* tc = type_expr ctx line c in
+      if tc <> Ast.Tbool then err line "non-bool condition" else check_block ctx ret b
+  | Ast.For (init, c, update, b) ->
+      let* () = check_stmt ctx ret init in
+      let* tc = type_expr ctx line c in
+      if tc <> Ast.Tbool then err line "non-bool condition"
+      else
+        let* () = check_stmt ctx ret update in
+        check_block ctx ret b
+  | Ast.Return e ->
+      let* te = type_expr ctx line e in
+      if te <> ret then err line "return type mismatch" else Ok ()
+  | Ast.Break | Ast.Continue -> Ok ()
+
+(** Check a whole method.  All-paths-return is not enforced statically (the
+    interpreter reports it dynamically), matching Java's weaker rule for the
+    patterns our corpus uses. *)
+let check (m : Ast.meth) : (unit, error) result =
+  let ctx = Hashtbl.create 16 in
+  List.iter (fun (t, x) -> Hashtbl.replace ctx x t) m.Ast.params;
+  check_block ctx m.Ast.ret m.Ast.body
+
+let is_well_typed m = Result.is_ok (check m)

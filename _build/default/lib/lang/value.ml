@@ -1,0 +1,74 @@
+(** Runtime values of MiniJava.
+
+    Arrays are mutable (aliasing matters for the sorting workloads); records
+    are flat maps from field name to primitive value, mutable via
+    {!set_field}.  [show]/[equal] come from ppx_deriving and are used heavily
+    by trace encoding and tests. *)
+
+type t =
+  | VInt of int
+  | VBool of bool
+  | VStr of string
+  | VArr of int array
+  | VObj of (string * t) array  (* fields hold primitives only *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let type_of = function
+  | VInt _ -> Ast.Tint
+  | VBool _ -> Ast.Tbool
+  | VStr _ -> Ast.Tstring
+  | VArr _ -> Ast.Tarray
+  | VObj _ -> Ast.Tobj
+
+(** Deep copy: array and record values are snapshotted so that stored program
+    states are immune to later mutation (Definition 2.1 requires the state
+    {e at that step}). *)
+let rec snapshot = function
+  | (VInt _ | VBool _ | VStr _) as v -> v
+  | VArr a -> VArr (Array.copy a)
+  | VObj fields -> VObj (Array.map (fun (n, v) -> (n, snapshot v)) fields)
+
+let get_field v name =
+  match v with
+  | VObj fields -> (
+      match Array.find_opt (fun (n, _) -> n = name) fields with
+      | Some (_, v) -> Some v
+      | None -> None)
+  | _ -> None
+
+let set_field v name x =
+  match v with
+  | VObj fields ->
+      let found = ref false in
+      Array.iteri
+        (fun i (n, _) ->
+          if n = name then begin
+            fields.(i) <- (n, x);
+            found := true
+          end)
+        fields;
+      !found
+  | _ -> false
+
+(** Render a value the way Figure 2 renders states, e.g. [[8, 5, 1, 4, 3]]. *)
+let rec to_display = function
+  | VInt n -> string_of_int n
+  | VBool b -> string_of_bool b
+  | VStr s -> Printf.sprintf "%S" s
+  | VArr a ->
+      Printf.sprintf "[%s]"
+        (String.concat ", " (Array.to_list (Array.map string_of_int a)))
+  | VObj fields ->
+      Printf.sprintf "{%s}"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (fun (n, v) -> Printf.sprintf "%s=%s" n (to_display v)) fields)))
+
+(** Flatten a value into its primitive constituents, in order — the paper's
+    [attr(v)] array for object types (§5.1.1).  Primitives flatten to a
+    singleton. *)
+let rec flatten = function
+  | (VInt _ | VBool _ | VStr _) as v -> [ v ]
+  | VArr a -> Array.to_list (Array.map (fun n -> VInt n) a)
+  | VObj fields ->
+      List.concat_map (fun (_, v) -> flatten v) (Array.to_list fields)

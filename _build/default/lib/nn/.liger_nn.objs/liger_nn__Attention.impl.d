@@ -1,0 +1,1 @@
+lib/nn/attention.ml: Array Autodiff Liger_tensor Linear Param

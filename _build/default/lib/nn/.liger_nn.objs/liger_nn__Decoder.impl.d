@@ -1,0 +1,1 @@
+lib/nn/decoder.ml: Array Attention Autodiff Embedding_layer Liger_tensor Liger_trace Linear List Rnn_cell Stdlib Tensor Vocab

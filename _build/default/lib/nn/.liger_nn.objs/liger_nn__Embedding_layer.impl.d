@@ -1,0 +1,1 @@
+lib/nn/embedding_layer.ml: Autodiff Liger_tensor Liger_trace Param Vocab

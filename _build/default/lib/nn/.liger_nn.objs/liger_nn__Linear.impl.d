@@ -1,0 +1,1 @@
+lib/nn/linear.ml: Autodiff Liger_tensor Param

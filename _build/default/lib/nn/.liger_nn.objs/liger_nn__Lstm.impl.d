@@ -1,0 +1,1 @@
+lib/nn/lstm.ml: Autodiff Liger_tensor Linear List Param

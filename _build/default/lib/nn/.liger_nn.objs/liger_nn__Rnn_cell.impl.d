@@ -1,0 +1,1 @@
+lib/nn/rnn_cell.ml: Autodiff Liger_tensor Linear List Param

@@ -1,0 +1,1 @@
+lib/nn/treelstm.ml: Array Autodiff Encode Liger_tensor Liger_trace List Param

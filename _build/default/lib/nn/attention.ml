@@ -1,0 +1,44 @@
+(** Additive (Bahdanau-style) attention, used twice in the architecture:
+    the fusion layer's scorer a1 over {static, concrete_1..N} feature
+    vectors, and the decoder's scorer a2 over all blended-trace steps.
+
+    Score of a candidate [h] against a context [q] is
+    [v . tanh(W (h ++ q) + b)]; weights are the softmax of scores and the
+    result is the weighted sum.  [fuse] returns the weights too — §6.1.2
+    inspects them to show the symbolic dimension receives ~0.6. *)
+
+open Liger_tensor
+
+type t = { proj : Linear.t; v : Param.t }
+
+let create store name ~dim_h ~dim_q ~dim_att =
+  {
+    proj = Linear.create store (name ^ ".proj") ~dim_in:(dim_h + dim_q) ~dim_out:dim_att;
+    (* zero-init: scores start at 0, weights exactly uniform, so no candidate
+       is favoured by the initial magnitude of its feature vector *)
+    v = Param.zeros store (name ^ ".v") 1 dim_att;
+  }
+
+(** Raw attention score (1-dim node) of candidate [h] given context [q]. *)
+let score t tape ~q h =
+  Autodiff.matvec tape t.v (Linear.forward_tanh t.proj tape (Autodiff.concat tape [ h; q ]))
+
+(** Softmax-normalized weights over candidates (a vector node of length
+    [|hs|]). *)
+let weights t tape ~q hs =
+  let scores = Array.to_list (Array.map (score t tape ~q) hs) in
+  Autodiff.softmax tape (Autodiff.concat tape scores)
+
+(** Weighted sum of candidates; returns [(weights, fused)]. *)
+let fuse t tape ~q hs =
+  let w = weights t tape ~q hs in
+  (w, Autodiff.weighted_sum tape w hs)
+
+(** Fixed uniform fusion — the "remove attention" ablation (§6.3.3), which
+    "evenly distribute[s] the weights across all traces in a blended
+    trace". *)
+let fuse_uniform tape hs =
+  let k = Array.length hs in
+  if k = 0 then invalid_arg "Attention.fuse_uniform: empty";
+  let w = Autodiff.const tape (Array.make k (1.0 /. float_of_int k)) in
+  (w, Autodiff.weighted_sum tape w hs)

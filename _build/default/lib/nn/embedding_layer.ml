@@ -1,0 +1,27 @@
+(** The vocabulary embedding layer (§5.1.1): every token of D_s ∪ D_d maps
+    to a learned vector.
+
+    The table is sized to a frozen vocabulary; out-of-range ids (tokens
+    unseen at training time) use the [unk] row. *)
+
+open Liger_tensor
+open Liger_trace
+
+type t = { table : Param.t; vocab : Vocab.t; dim : int }
+
+let create store name vocab ~dim =
+  if not (Vocab.is_frozen vocab) then
+    invalid_arg "Embedding_layer.create: freeze the vocabulary first";
+  { table = Param.embedding store (name ^ ".table") (Vocab.size vocab) dim; vocab; dim }
+
+let dim t = t.dim
+
+(** Embedding of a token id. *)
+let embed_id t tape i =
+  let i = if i < 0 || i >= Param.rows t.table then Vocab.unk_id else i in
+  Autodiff.row tape t.table i
+
+(** Embedding of a token string (interned through the frozen vocabulary). *)
+let embed t tape tok = embed_id t tape (Vocab.id t.vocab tok)
+
+let vocab_size t = Vocab.size t.vocab

@@ -1,0 +1,17 @@
+(** Dense affine layers. *)
+
+open Liger_tensor
+
+type t = { w : Param.t; b : Param.t }
+
+let create store name ~dim_in ~dim_out =
+  {
+    w = Param.matrix store (name ^ ".w") dim_out dim_in;
+    b = Param.vector store (name ^ ".b") dim_out;
+  }
+
+let forward t tape x = Autodiff.affine tape ~w:t.w ~b:t.b x
+
+let forward_tanh t tape x = Autodiff.tanh_ tape (forward t tape x)
+
+let forward_sigmoid t tape x = Autodiff.sigmoid tape (forward t tape x)

@@ -1,0 +1,51 @@
+(** A standard single-layer LSTM cell (kept alongside the GRU for ablations
+    and as the sequential special case of the TreeLSTM). *)
+
+open Liger_tensor
+
+type t = {
+  gates : Linear.t;  (* [i; f; o; u] stacked: 4H x (in + H) *)
+  dim_hidden : int;
+  h0 : Param.t;
+  c0 : Param.t;
+}
+
+type state = { h : Autodiff.node; c : Autodiff.node }
+
+let create store name ~dim_in ~dim_hidden =
+  {
+    gates =
+      Linear.create store (name ^ ".gates") ~dim_in:(dim_in + dim_hidden)
+        ~dim_out:(4 * dim_hidden);
+    dim_hidden;
+    h0 = Param.vector store (name ^ ".h0") dim_hidden;
+    c0 = Param.vector store (name ^ ".c0") dim_hidden;
+  }
+
+let init_state t tape =
+  { h = Autodiff.of_param tape t.h0; c = Autodiff.of_param tape t.c0 }
+
+let step t tape ~state ~x =
+  let d = t.dim_hidden in
+  let xh = Autodiff.concat tape [ x; state.h ] in
+  let pre = Linear.forward t.gates tape xh in
+  let i = Autodiff.sigmoid tape (Autodiff.slice tape pre 0 d) in
+  let f = Autodiff.sigmoid tape (Autodiff.slice tape pre d d) in
+  let o = Autodiff.sigmoid tape (Autodiff.slice tape pre (2 * d) d) in
+  let u = Autodiff.tanh_ tape (Autodiff.slice tape pre (3 * d) d) in
+  let c =
+    Autodiff.add tape (Autodiff.mul tape f state.c) (Autodiff.mul tape i u)
+  in
+  let h = Autodiff.mul tape o (Autodiff.tanh_ tape c) in
+  { h; c }
+
+let run t tape xs =
+  let state = ref (init_state t tape) in
+  List.map
+    (fun x ->
+      state := step t tape ~state:!state ~x;
+      !state.h)
+    xs
+
+let last t tape xs =
+  match List.rev (run t tape xs) with [] -> (init_state t tape).h | h :: _ -> h

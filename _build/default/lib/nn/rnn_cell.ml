@@ -1,0 +1,84 @@
+(** Recurrent cells: the paper's vanilla RNN (Equation 1) plus a GRU.
+
+    The paper specifies single-layer vanilla RNNs for its f1/f2/f3; over our
+    longer blended traces vanilla recurrences train poorly (vanishing
+    gradients), so every construction site accepts either kind and the
+    models default to GRU — a capacity-comparable substitution documented in
+    DESIGN.md.  Both share the same interface: parameters are created under
+    a name prefix; [step] maps (hidden, input) to the next hidden state;
+    [run] folds a sequence and returns every intermediate state (the
+    decoder's attention needs them all). *)
+
+open Liger_tensor
+
+type kind = Vanilla | Gru
+
+type spec =
+  | Svanilla of { wx : Param.t; wh : Param.t; b : Param.t }
+  | Sgru of { gates : Linear.t; cand : Linear.t }
+
+type t = { spec : spec; dim_hidden : int; h0 : Param.t }
+
+let create ?(kind = Gru) store name ~dim_in ~dim_hidden =
+  let h0 = Param.vector store (name ^ ".h0") dim_hidden in
+  let spec =
+    match kind with
+    | Vanilla ->
+        Svanilla
+          {
+            wx = Param.matrix store (name ^ ".wx") dim_hidden dim_in;
+            wh = Param.matrix store (name ^ ".wh") dim_hidden dim_hidden;
+            b = Param.vector store (name ^ ".b") dim_hidden;
+          }
+    | Gru ->
+        Sgru
+          {
+            gates =
+              Linear.create store (name ^ ".gates") ~dim_in:(dim_in + dim_hidden)
+                ~dim_out:(2 * dim_hidden);
+            cand =
+              Linear.create store (name ^ ".cand") ~dim_in:(dim_in + dim_hidden)
+                ~dim_out:dim_hidden;
+          }
+  in
+  { spec; dim_hidden; h0 }
+
+let dim_hidden t = t.dim_hidden
+
+(** The learned initial hidden state. *)
+let init_state t tape = Autodiff.of_param tape t.h0
+
+(** One recurrence step. *)
+let step t tape ~h ~x =
+  match t.spec with
+  | Svanilla { wx; wh; b } ->
+      Autodiff.tanh_ tape
+        (Autodiff.add tape
+           (Autodiff.add tape (Autodiff.matvec tape wx x) (Autodiff.matvec tape wh h))
+           (Autodiff.of_param tape b))
+  | Sgru { gates; cand } ->
+      let d = t.dim_hidden in
+      let xh = Autodiff.concat tape [ x; h ] in
+      let rz = Linear.forward_sigmoid gates tape xh in
+      let r = Autodiff.slice tape rz 0 d in
+      let z = Autodiff.slice tape rz d d in
+      let x_rh = Autodiff.concat tape [ x; Autodiff.mul tape r h ] in
+      let h_tilde = Linear.forward_tanh cand tape x_rh in
+      (* h' = (1-z) * h + z * h~ *)
+      Autodiff.add tape
+        (Autodiff.mul tape (Autodiff.one_minus tape z) h)
+        (Autodiff.mul tape z h_tilde)
+
+(** Fold over a sequence of input nodes starting from the learned initial
+    state; returns the hidden state after each input (length = |xs|). *)
+let run t tape xs =
+  let h = ref (init_state t tape) in
+  List.map
+    (fun x ->
+      h := step t tape ~h:!h ~x;
+      !h)
+    xs
+
+(** Final state of a sequence (initial state when the sequence is empty). *)
+let last t tape xs =
+  match List.rev (run t tape xs) with [] -> init_state t tape | h :: _ -> h

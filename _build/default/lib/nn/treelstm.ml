@@ -1,0 +1,84 @@
+(** Child-sum TreeLSTM (Tai et al. 2015, §4.2 of the paper).
+
+    Embeds a labeled tree bottom-up: each node combines its own label
+    embedding with the summed hidden states of its children, gated by a
+    per-child forget gate:
+
+    {v
+    h~  = sum_k h_k
+    i   = sigmoid(W_i x + U_i h~ + b_i)
+    f_k = sigmoid(W_f x + U_f h_k + b_f)
+    o   = sigmoid(W_o x + U_o h~ + b_o)
+    u   = tanh  (W_u x + U_u h~ + b_u)
+    c   = i * u + sum_k f_k * c_k
+    h   = o * tanh(c)
+    v}
+
+    The fusion layer uses this to embed each statement's AST (§5.1.1). *)
+
+open Liger_tensor
+open Liger_trace
+
+type t = {
+  wx : Param.t;  (* 4H x in : [i; o; u; f] input contributions *)
+  uh : Param.t;  (* 3H x H  : [i; o; u] child-sum contributions *)
+  uf : Param.t;  (* H x H   : per-child forget contribution *)
+  b : Param.t;   (* 4H      : [i; o; u; f] biases *)
+  dim_hidden : int;
+}
+
+let create store name ~dim_in ~dim_hidden =
+  {
+    wx = Param.matrix store (name ^ ".wx") (4 * dim_hidden) dim_in;
+    uh = Param.matrix store (name ^ ".uh") (3 * dim_hidden) dim_hidden;
+    uf = Param.matrix store (name ^ ".uf") dim_hidden dim_hidden;
+    b = Param.vector store (name ^ ".b") (4 * dim_hidden);
+    dim_hidden;
+  }
+
+(* (h, c) of one node given its label embedding and children states *)
+let node_state t tape x children =
+  let d = t.dim_hidden in
+  let zeros = Autodiff.const tape (Array.make d 0.0) in
+  let h_sum =
+    List.fold_left (fun acc (h, _) -> Autodiff.add tape acc h) zeros children
+  in
+  let wxx = Autodiff.matvec tape t.wx x in
+  let uhh = Autodiff.matvec tape t.uh h_sum in
+  let bias = Autodiff.of_param tape t.b in
+  let gate off =
+    Autodiff.add tape
+      (Autodiff.add tape (Autodiff.slice tape wxx (off * d) d)
+         (Autodiff.slice tape uhh (off * d) d))
+      (Autodiff.slice tape bias (off * d) d)
+  in
+  let i = Autodiff.sigmoid tape (gate 0) in
+  let o = Autodiff.sigmoid tape (gate 1) in
+  let u = Autodiff.tanh_ tape (gate 2) in
+  let f_base =
+    Autodiff.add tape
+      (Autodiff.slice tape wxx (3 * d) d)
+      (Autodiff.slice tape bias (3 * d) d)
+  in
+  let forget_term =
+    List.fold_left
+      (fun acc (h_k, c_k) ->
+        let f_k =
+          Autodiff.sigmoid tape (Autodiff.add tape f_base (Autodiff.matvec tape t.uf h_k))
+        in
+        Autodiff.add tape acc (Autodiff.mul tape f_k c_k))
+      zeros children
+  in
+  let c = Autodiff.add tape (Autodiff.mul tape i u) forget_term in
+  let h = Autodiff.mul tape o (Autodiff.tanh_ tape c) in
+  (h, c)
+
+(** Embed a tree: [embed] supplies the vector of a label (leaf token or AST
+    node type); returns the root's hidden state. *)
+let embed_tree t tape ~embed tree =
+  let rec go = function
+    | Encode.Leaf tok -> node_state t tape (embed tok) []
+    | Encode.Node (label, children) ->
+        node_state t tape (embed label) (List.map go children)
+  in
+  fst (go tree)

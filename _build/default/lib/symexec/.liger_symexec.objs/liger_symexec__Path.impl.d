@@ -1,0 +1,1 @@
+lib/symexec/path.ml: Fmt Liger_lang List Symval

@@ -1,0 +1,1 @@
+lib/symexec/solver.ml: Array Ast Float Interp Liger_lang Liger_tensor List Path Rng Symval Value

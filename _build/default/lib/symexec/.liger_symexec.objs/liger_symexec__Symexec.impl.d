@@ -1,0 +1,1 @@
+lib/symexec/symexec.ml: Array Ast Char Interp Liger_lang List Map Path Printf Solver String Symval Value

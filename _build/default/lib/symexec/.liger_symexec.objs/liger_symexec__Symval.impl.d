@@ -1,0 +1,1 @@
+lib/symexec/symval.ml: Array Ast Fmt Interp Liger_lang List Pretty Value

@@ -1,0 +1,132 @@
+(** A small search-based constraint solver.
+
+    Finds concrete assignments for the integer/boolean inputs of a path
+    condition by minimizing the classic {e branch distance} objective
+    (Korel's alternating variable method): random restarts followed by
+    pattern-step hill climbing per variable.  Not complete — but over the
+    bounded integer domains our corpus uses it solves the conditions bounded
+    symbolic execution produces almost always, which is all a test generator
+    needs (unsolved paths are simply not covered, as with any SBST tool). *)
+
+open Liger_lang
+open Liger_tensor
+
+type domain = { int_min : int; int_max : int }
+
+let default_domain = { int_min = -32; int_max = 32 }
+
+let big_penalty = 1e9
+
+(** Distance to making [c] evaluate to [want] under [model]; 0 iff
+    satisfied. *)
+let rec distance model ~want (c : Symval.t) =
+  match c with
+  | Symval.Const (Value.VBool b) -> if b = want then 0.0 else big_penalty
+  | Symval.Unop (Ast.Not, a) -> distance model ~want:(not want) a
+  | Symval.Binop (Ast.And, a, b) ->
+      if want then distance model ~want:true a +. distance model ~want:true b
+      else min (distance model ~want:false a) (distance model ~want:false b)
+  | Symval.Binop (Ast.Or, a, b) ->
+      if want then min (distance model ~want:true a) (distance model ~want:true b)
+      else distance model ~want:false a +. distance model ~want:false b
+  | Symval.Binop (op, a, b) -> (
+      try
+        let va = Symval.eval model a and vb = Symval.eval model b in
+        match (op, va, vb) with
+        | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), Value.VInt x, Value.VInt y ->
+            let fx = float_of_int x and fy = float_of_int y in
+            let d =
+              match (op, want) with
+              | Ast.Lt, true -> fx -. fy +. 1.0
+              | Ast.Lt, false -> fy -. fx
+              | Ast.Le, true -> fx -. fy
+              | Ast.Le, false -> fy -. fx +. 1.0
+              | Ast.Gt, true -> fy -. fx +. 1.0
+              | Ast.Gt, false -> fx -. fy
+              | Ast.Ge, true -> fy -. fx
+              | Ast.Ge, false -> fx -. fy +. 1.0
+              | _ -> assert false
+            in
+            Float.max 0.0 d
+        | Ast.Eq, Value.VInt x, Value.VInt y ->
+            if want then Float.abs (float_of_int (x - y))
+            else if x = y then 1.0
+            else 0.0
+        | Ast.Ne, Value.VInt x, Value.VInt y ->
+            if want then if x = y then 1.0 else 0.0
+            else Float.abs (float_of_int (x - y))
+        | (Ast.Eq | Ast.Ne), _, _ ->
+            let equal = Value.equal va vb in
+            let satisfied = if op = Ast.Eq then equal = want else equal <> want in
+            if satisfied then 0.0 else 1.0
+        | _ -> (
+            match Symval.eval model c with
+            | Value.VBool b -> if b = want then 0.0 else 1.0
+            | _ -> big_penalty)
+      with Interp.Runtime_error _ -> big_penalty)
+  | _ -> (
+      try
+        match Symval.eval model c with
+        | Value.VBool b -> if b = want then 0.0 else 1.0
+        | _ -> big_penalty
+      with Interp.Runtime_error _ -> big_penalty)
+
+let objective model (pc : Path.t) =
+  List.fold_left (fun acc c -> acc +. distance model ~want:true c) 0.0 pc
+
+(** Try to find a model of [pc] over [vars] (name, is_bool).  Returns
+    bindings for every listed variable. *)
+let solve ?(domain = default_domain) ?(restarts = 12) ?(steps = 200) rng
+    ~(vars : (string * Ast.typ) list) (pc : Path.t) =
+  if vars = [] then if Path.holds [] pc then Some [] else None
+  else begin
+    let names = Array.of_list (List.map fst vars) in
+    let kinds = Array.of_list (List.map snd vars) in
+    let n = Array.length names in
+    let random_model () =
+      Array.init n (fun i ->
+          match kinds.(i) with
+          | Ast.Tbool -> Value.VBool (Rng.bool rng)
+          | _ -> Value.VInt (Rng.int_range rng domain.int_min domain.int_max))
+    in
+    let to_assoc arr = Array.to_list (Array.mapi (fun i v -> (names.(i), v)) arr) in
+    let best = ref None in
+    let attempt = ref 0 in
+    while !best = None && !attempt < restarts do
+      incr attempt;
+      let model = random_model () in
+      let score = ref (objective (to_assoc model) pc) in
+      let step = ref 0 in
+      while !score > 0.0 && !score < big_penalty && !step < steps do
+        incr step;
+        (* alternating-variable pattern step *)
+        let i = Rng.int rng n in
+        (match kinds.(i) with
+        | Ast.Tbool ->
+            let flipped = Array.copy model in
+            flipped.(i) <-
+              (match model.(i) with Value.VBool b -> Value.VBool (not b) | v -> v);
+            let s = objective (to_assoc flipped) pc in
+            if s < !score then begin
+              model.(i) <- flipped.(i);
+              score := s
+            end
+        | _ ->
+            let current = match model.(i) with Value.VInt v -> v | _ -> 0 in
+            let deltas = [ 1; -1; 2; -2; 4; -4; 8; -8; 16; -16 ] in
+            let try_delta d =
+              let candidate = max domain.int_min (min domain.int_max (current + d)) in
+              let saved = model.(i) in
+              model.(i) <- Value.VInt candidate;
+              let s = objective (to_assoc model) pc in
+              (* equal-score moves are accepted half the time: coupled
+                 equalities create plateaus that strict descent cannot cross *)
+              if s < !score || (s = !score && Rng.bernoulli rng 0.5) then score := s
+              else model.(i) <- saved
+            in
+            List.iter try_delta deltas)
+      done;
+      if !score = 0.0 then best := Some (to_assoc model)
+    done;
+    !best
+  end

@@ -1,0 +1,277 @@
+(** Bounded symbolic execution of MiniJava methods.
+
+    The engine runs the program over {!Symval.t} values, forking at every
+    branch whose guard does not fold to a constant and recording the same
+    (statement id, branch outcome) signature the concrete interpreter
+    records — so a solved symbolic path yields inputs whose concrete trace
+    lands exactly on that path.  Loops are bounded by a per-path step budget
+    and the total number of explored paths is capped.
+
+    Scalar inputs ([int]/[bool]) are fully symbolic; arrays get a concrete
+    length with symbolic cells; strings are concretized (see {!shapes}).
+    Unsupported operations on symbolic operands (symbolic array index,
+    symbolic builtin argument) abort only the affected path. *)
+
+open Liger_lang
+
+module StrMap = Map.Make (String)
+
+type outcome =
+  | Sym_returned of Symval.t
+  | Sym_aborted of string  (* unsupported op / step budget on this path *)
+
+type path_result = {
+  pc : Path.t;
+  signature : (int * bool option) list;  (* matches Exec_trace.path_signature *)
+  outcome : outcome;
+}
+
+type config = { max_paths : int; max_steps : int }
+
+let default_config = { max_paths = 64; max_steps = 600 }
+
+exception Abort of string
+
+type sstate = {
+  env : Symval.t StrMap.t;
+  pc : Path.t;
+  signature : (int * bool option) list;  (* reversed *)
+  steps : int;
+}
+
+type signal =
+  | SNormal of sstate
+  | SBreak of sstate
+  | SContinue of sstate
+  | SReturn of sstate * Symval.t
+  | SAbort of sstate * string
+
+let lookup env x =
+  match StrMap.find_opt x env with
+  | Some v -> v
+  | None -> raise (Abort ("unbound variable " ^ x))
+
+let as_int = function
+  | Symval.Const (Value.VInt n) -> n
+  | v -> raise (Abort ("symbolic value where concrete int required: " ^ Symval.to_string v))
+
+let rec eval env (e : Ast.expr) : Symval.t =
+  match e with
+  | Ast.Int n -> Symval.Const (Value.VInt n)
+  | Ast.Bool b -> Symval.Const (Value.VBool b)
+  | Ast.Str s -> Symval.Const (Value.VStr s)
+  | Ast.Var x -> lookup env x
+  | Ast.Binop (op, a, b) -> Symval.binop op (eval env a) (eval env b)
+  | Ast.Unop (op, a) -> Symval.unop op (eval env a)
+  | Ast.Index (a, i) -> (
+      let arr = eval env a in
+      let idx = as_int (eval env i) in
+      match arr with
+      | Symval.Arr cells ->
+          if idx < 0 || idx >= Array.length cells then raise (Abort "index out of bounds");
+          cells.(idx)
+      | _ -> raise (Abort "indexing a non-array"))
+  | Ast.Field (a, f) -> (
+      match eval env a with
+      | Symval.Obj fields -> (
+          match Array.find_opt (fun (n, _) -> n = f) fields with
+          | Some (_, v) -> v
+          | None -> raise (Abort ("no field " ^ f)))
+      | _ -> raise (Abort "field access on non-object"))
+  | Ast.Len a -> (
+      match eval env a with
+      | Symval.Arr cells -> Symval.Const (Value.VInt (Array.length cells))
+      | Symval.Const (Value.VStr s) -> Symval.Const (Value.VInt (String.length s))
+      | _ -> raise (Abort "length of symbolic value"))
+  | Ast.Call (f, args) ->
+      let vals = List.map (eval env) args in
+      let concrete =
+        List.map
+          (fun v -> try Symval.to_value v with Symval.Not_concrete -> raise (Abort ("symbolic argument to builtin " ^ f)))
+          vals
+      in
+      (try Symval.Const (Interp.builtin f concrete)
+       with Interp.Runtime_error msg -> raise (Abort msg))
+  | Ast.NewArray e ->
+      let n = as_int (eval env e) in
+      if n < 0 || n > 1024 then raise (Abort "bad array size");
+      Symval.Arr (Array.make n (Symval.Const (Value.VInt 0)))
+  | Ast.ArrayLit es -> Symval.Arr (Array.of_list (List.map (eval env) es))
+  | Ast.RecordLit fs -> Symval.Obj (Array.of_list (List.map (fun (n, e) -> (n, eval env e)) fs))
+
+let record st sid branch =
+  { st with signature = (sid, branch) :: st.signature; steps = st.steps + 1 }
+
+(* Exploration context holding the global path budget. *)
+type ctx = { cfg : config; mutable budget : int }
+
+(* Fork on a symbolic guard: returns the live (state, taken) continuations.
+   Infeasible constraint additions are pruned immediately. *)
+let fork ctx st sid guard =
+  let follow taken =
+    let c = if taken then guard else Symval.not_ guard in
+    match Path.add c st.pc with
+    | None -> None
+    | Some pc -> Some ({ (record { st with pc } sid (Some taken)) with pc }, taken)
+  in
+  match guard with
+  | Symval.Const (Value.VBool b) -> [ (record st sid (Some b), b) ]
+  | _ ->
+      ctx.budget <- ctx.budget - 1;
+      if ctx.budget < 0 then []
+      else List.filter_map follow [ true; false ]
+
+let rec exec_block ctx st (block : Ast.block) : signal list =
+  match block with
+  | [] -> [ SNormal st ]
+  | s :: rest ->
+      exec_stmt ctx st s
+      |> List.concat_map (function
+           | SNormal st' -> exec_block ctx st' rest
+           | other -> [ other ])
+
+and exec_stmt ctx st (s : Ast.stmt) : signal list =
+  if st.steps >= ctx.cfg.max_steps then [ SAbort (st, "step budget exceeded") ]
+  else
+    try
+      match s.Ast.node with
+      | Ast.Decl (_, x, e) | Ast.Assign (x, e) ->
+          let v = eval st.env e in
+          [ SNormal (record { st with env = StrMap.add x v st.env } s.Ast.sid None) ]
+      | Ast.StoreIndex (x, i, e) -> (
+          let idx = as_int (eval st.env i) in
+          let v = eval st.env e in
+          match lookup st.env x with
+          | Symval.Arr cells ->
+              if idx < 0 || idx >= Array.length cells then raise (Abort "index out of bounds");
+              let cells' = Array.copy cells in
+              cells'.(idx) <- v;
+              [ SNormal
+                  (record { st with env = StrMap.add x (Symval.Arr cells') st.env } s.Ast.sid None) ]
+          | _ -> raise (Abort "store to non-array"))
+      | Ast.StoreField (x, f, e) -> (
+          let v = eval st.env e in
+          match lookup st.env x with
+          | Symval.Obj fields ->
+              let fields' = Array.map (fun (n, old) -> if n = f then (n, v) else (n, old)) fields in
+              if not (Array.exists (fun (n, _) -> n = f) fields) then
+                raise (Abort ("no field " ^ f));
+              [ SNormal
+                  (record { st with env = StrMap.add x (Symval.Obj fields') st.env } s.Ast.sid None) ]
+          | _ -> raise (Abort "store to non-object"))
+      | Ast.If (c, then_b, else_b) ->
+          let guard = eval st.env c in
+          fork ctx st s.Ast.sid guard
+          |> List.concat_map (fun (st', taken) ->
+                 exec_block ctx st' (if taken then then_b else else_b))
+      | Ast.While (c, body) -> exec_loop ctx st s c body None
+      | Ast.For (init, c, update, body) ->
+          exec_stmt ctx st init
+          |> List.concat_map (function
+               | SNormal st' -> exec_loop ctx st' s c body (Some update)
+               | other -> [ other ])
+      | Ast.Return e ->
+          let v = eval st.env e in
+          [ SReturn (record st s.Ast.sid None, v) ]
+      | Ast.Break -> [ SBreak (record st s.Ast.sid None) ]
+      | Ast.Continue -> [ SContinue (record st s.Ast.sid None) ]
+    with Abort msg -> [ SAbort (st, msg) ]
+
+and exec_loop ctx st (s : Ast.stmt) cond body update : signal list =
+  if st.steps >= ctx.cfg.max_steps then [ SAbort (st, "step budget exceeded") ]
+  else
+    try
+      let guard = eval st.env cond in
+      fork ctx st s.Ast.sid guard
+      |> List.concat_map (fun (st', taken) ->
+             if not taken then [ SNormal st' ]
+             else
+               exec_block ctx st' body
+               |> List.concat_map (function
+                    | SNormal st'' | SContinue st'' -> (
+                        match update with
+                        | None -> exec_loop ctx st'' s cond body update
+                        | Some u ->
+                            exec_stmt ctx st'' u
+                            |> List.concat_map (function
+                                 | SNormal st3 -> exec_loop ctx st3 s cond body update
+                                 | other -> [ other ]))
+                    | SBreak st'' -> [ SNormal st'' ]
+                    | other -> [ other ]))
+    with Abort msg -> [ SAbort (st, msg) ]
+
+(* ---------------- shapes and the public API ---------------- *)
+
+(** Build the initial symbolic binding for each parameter: scalars become
+    inputs; arrays become length-[array_len] vectors of fresh symbolic
+    cells; strings and objects are concretized with simple defaults. *)
+let shape_of_params ?(array_len = 4) ?(string_len = 3) (params : (Ast.typ * string) list) =
+  List.map
+    (fun (t, x) ->
+      let v =
+        match t with
+        | Ast.Tint | Ast.Tbool -> Symval.Input x
+        | Ast.Tarray ->
+            Symval.Arr (Array.init array_len (fun i -> Symval.Input (Printf.sprintf "%s_%d" x i)))
+        | Ast.Tstring ->
+            Symval.Const (Value.VStr (String.init string_len (fun i -> Char.chr (97 + (i mod 26)))))
+        | Ast.Tobj -> Symval.Obj [| ("x", Symval.Input (x ^ "_x")); ("y", Symval.Input (x ^ "_y")) |]
+      in
+      (x, v))
+    params
+
+(** Symbolic input variables of a shape, with their types (everything
+    non-bool is an int for the solver). *)
+let shape_inputs (meth : Ast.meth) shape =
+  let bool_params =
+    List.filter_map (fun (t, x) -> if t = Ast.Tbool then Some x else None) meth.Ast.params
+  in
+  List.concat_map (fun (_, v) -> Symval.inputs [] v) shape
+  |> List.sort_uniq compare
+  |> List.map (fun x -> (x, if List.mem x bool_params then Ast.Tbool else Ast.Tint))
+
+(** Explore all bounded paths of [meth] under [shape]. *)
+let explore ?(config = default_config) (meth : Ast.meth) ~shape : path_result list =
+  let env =
+    List.fold_left (fun env (x, v) -> StrMap.add x v env) StrMap.empty shape
+  in
+  let ctx = { cfg = config; budget = config.max_paths } in
+  let st0 = { env; pc = Path.empty; signature = []; steps = 0 } in
+  exec_block ctx st0 meth.Ast.body
+  |> List.map (fun signal ->
+         let finish st outcome =
+           { pc = st.pc; signature = List.rev st.signature; outcome }
+         in
+         match signal with
+         | SReturn (st, v) -> finish st (Sym_returned v)
+         | SNormal st | SBreak st | SContinue st ->
+             finish st (Sym_aborted "fell through without return")
+         | SAbort (st, msg) -> finish st (Sym_aborted msg))
+
+(** Solve a path's condition and materialize concrete argument values.
+    Returns the arguments in parameter order, ready for [Interp.run]. *)
+let concretize ?domain rng (meth : Ast.meth) ~shape (r : path_result) =
+  let vars = shape_inputs meth shape in
+  match Solver.solve ?domain rng ~vars r.pc with
+  | None -> None
+  | Some model ->
+      let args =
+        List.map
+          (fun (_, v) ->
+            try Symval.eval model v with Interp.Runtime_error _ -> Value.VInt 0)
+          shape
+      in
+      Some args
+
+(** End-to-end directed generation: enumerate paths, solve each feasible
+    one, return concrete inputs (deduplicated) that together exercise every
+    solved path. *)
+let generate_inputs ?config ?domain rng (meth : Ast.meth) =
+  let shape = shape_of_params meth.Ast.params in
+  let results = explore ?config meth ~shape in
+  results
+  |> List.filter_map (fun r ->
+         match r.outcome with
+         | Sym_returned _ -> concretize ?domain rng meth ~shape r
+         | Sym_aborted _ -> None)
+  |> List.sort_uniq compare

@@ -1,0 +1,1 @@
+lib/tensor/autodiff.ml: Array Lazy List Param Printf Stdlib Tensor

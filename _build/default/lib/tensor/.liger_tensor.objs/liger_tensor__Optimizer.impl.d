@@ -1,0 +1,1 @@
+lib/tensor/optimizer.ml: Array Hashtbl Param Tensor

@@ -1,0 +1,1 @@
+lib/tensor/param.ml: Array Hashtbl List Rng Tensor

@@ -1,0 +1,1 @@
+lib/tensor/serialize.ml: Array Fun List Param Printf String Tensor

@@ -1,0 +1,83 @@
+(** First-order optimizers over a {!Param.store}.
+
+    The paper trains with Adam at its default hyperparameters
+    (lr = 1e-4, beta1 = 0.9, beta2 = 0.999); we default to the same shape of
+    configuration but expose the learning rate since our models are far
+    smaller.  Plain SGD is included for tests and ablations. *)
+
+type t =
+  | Sgd of { lr : float; momentum : float; state : (string, float array) Hashtbl.t }
+  | Adam of {
+      lr : float;
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      weight_decay : float;  (* decoupled (AdamW-style); 0 disables *)
+      mutable step : int;
+      state : (string, float array * float array) Hashtbl.t;
+    }
+
+let sgd ?(momentum = 0.0) ~lr () = Sgd { lr; momentum; state = Hashtbl.create 64 }
+
+let adam ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8)
+    ?(weight_decay = 0.0) () =
+  Adam { lr; beta1; beta2; eps; weight_decay; step = 0; state = Hashtbl.create 64 }
+
+(** Clip gradients to a global L2 norm of [max_norm]; returns the pre-clip
+    norm. Stabilizes recurrent training on long traces. *)
+let clip_grads store ~max_norm =
+  let norm = Param.grad_norm store in
+  if norm > max_norm && norm > 0.0 then
+    Param.scale_grads store (max_norm /. norm);
+  norm
+
+let adam_state state (p : Param.t) =
+  match Hashtbl.find_opt state p.Param.name with
+  | Some mv -> mv
+  | None ->
+      let n = Param.size p in
+      let mv = (Array.make n 0.0, Array.make n 0.0) in
+      Hashtbl.add state p.Param.name mv;
+      mv
+
+(** Apply one update from the accumulated gradients, then zero them. *)
+let step t store =
+  (match t with
+  | Sgd { lr; momentum; state } ->
+      Param.iter store (fun p ->
+          let v = p.Param.value.Tensor.data and g = p.Param.grad.Tensor.data in
+          if momentum = 0.0 then
+            for i = 0 to Array.length v - 1 do
+              v.(i) <- v.(i) -. (lr *. g.(i))
+            done
+          else begin
+            let vel =
+              match Hashtbl.find_opt state p.Param.name with
+              | Some vel -> vel
+              | None ->
+                  let vel = Array.make (Param.size p) 0.0 in
+                  Hashtbl.add state p.Param.name vel;
+                  vel
+            in
+            for i = 0 to Array.length v - 1 do
+              vel.(i) <- (momentum *. vel.(i)) +. g.(i);
+              v.(i) <- v.(i) -. (lr *. vel.(i))
+            done
+          end)
+  | Adam a ->
+      a.step <- a.step + 1;
+      let t' = float_of_int a.step in
+      let bc1 = 1.0 -. (a.beta1 ** t') and bc2 = 1.0 -. (a.beta2 ** t') in
+      Param.iter store (fun p ->
+          let m, v2 = adam_state a.state p in
+          let v = p.Param.value.Tensor.data and g = p.Param.grad.Tensor.data in
+          for i = 0 to Array.length v - 1 do
+            let gi = g.(i) in
+            m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
+            v2.(i) <- (a.beta2 *. v2.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
+            let mhat = m.(i) /. bc1 and vhat = v2.(i) /. bc2 in
+            v.(i) <-
+              v.(i)
+              -. (a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. v.(i))))
+          done));
+  Param.zero_grads store

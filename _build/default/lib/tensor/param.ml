@@ -1,0 +1,93 @@
+(** Trainable parameters and parameter stores.
+
+    A parameter is a named matrix (or vector, [rows = 1]) with a persistent
+    gradient buffer that autodiff backward passes accumulate into.  A {!store}
+    owns all parameters of a model, provides deterministic initialization and
+    is the unit that optimizers update and serializers save. *)
+
+type t = {
+  name : string;
+  value : Tensor.t;
+  grad : Tensor.t;
+}
+
+let rows p = p.value.Tensor.rows
+let cols p = p.value.Tensor.cols
+let size p = Tensor.size p.value
+
+let zero_grad p = Tensor.fill p.grad 0.0
+
+type store = {
+  mutable params : t list;  (* newest first; order stable per run *)
+  tbl : (string, t) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let create_store ?(seed = 42) () =
+  { params = []; tbl = Hashtbl.create 64; rng = Rng.create seed }
+
+let mem store name = Hashtbl.mem store.tbl name
+
+let find store name =
+  match Hashtbl.find_opt store.tbl name with
+  | Some p -> p
+  | None -> invalid_arg ("Param.find: unknown parameter " ^ name)
+
+(** [add store name ~rows ~cols ~init] registers a fresh parameter whose
+    entries are produced by [init rng].  Names must be unique. *)
+let add store name ~rows ~cols ~init =
+  if Hashtbl.mem store.tbl name then
+    invalid_arg ("Param.add: duplicate parameter " ^ name);
+  let value = Tensor.create rows cols in
+  for i = 0 to Tensor.size value - 1 do
+    value.Tensor.data.(i) <- init store.rng
+  done;
+  let p = { name; value; grad = Tensor.create rows cols } in
+  Hashtbl.add store.tbl name p;
+  store.params <- p :: store.params;
+  p
+
+(** Xavier/Glorot uniform initialization, the paper's "random
+    initialization" at matched scale. *)
+let xavier ~fan_in ~fan_out rng =
+  let bound = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  Rng.uniform rng (-.bound) bound
+
+(** [matrix store name rows cols] adds a Xavier-initialized matrix. *)
+let matrix store name rows cols =
+  add store name ~rows ~cols ~init:(xavier ~fan_in:cols ~fan_out:rows)
+
+(** [vector store name n] adds a zero-initialized vector (e.g. a bias). *)
+let vector store name n = add store name ~rows:1 ~cols:n ~init:(fun _ -> 0.0)
+
+(** [zeros store name rows cols] adds a zero-initialized matrix.  Used for
+    the output row of attention scorers so attention starts exactly uniform
+    (symmetry is broken by the gradient, not the init). *)
+let zeros store name rows cols = add store name ~rows ~cols ~init:(fun _ -> 0.0)
+
+(** [embedding store name vocab dim] adds an embedding table with small
+    gaussian entries; row [i] embeds vocabulary item [i]. *)
+let embedding store name vocab dim =
+  add store name ~rows:vocab ~cols:dim ~init:(fun rng -> 0.1 *. Rng.gaussian rng)
+
+let iter store f = List.iter f (List.rev store.params)
+
+let fold store ~init f = List.fold_left f init (List.rev store.params)
+
+let zero_grads store = iter store zero_grad
+
+let num_params store = fold store ~init:0 (fun acc p -> acc + size p)
+
+(** Global L2 norm of all gradients; used for gradient clipping. *)
+let grad_norm store =
+  sqrt
+    (fold store ~init:0.0 (fun acc p ->
+         acc +. Array.fold_left (fun a x -> a +. (x *. x)) 0.0 p.grad.Tensor.data))
+
+(** Scale every gradient in the store by [c]. *)
+let scale_grads store c =
+  iter store (fun p ->
+      let g = p.grad.Tensor.data in
+      for i = 0 to Array.length g - 1 do
+        g.(i) <- g.(i) *. c
+      done)

@@ -1,0 +1,49 @@
+(** Plain-text save/load for parameter stores.
+
+    Format: one header line per parameter ([name rows cols]) followed by one
+    line of space-separated values.  Human-inspectable and stable across
+    OCaml versions, unlike [Marshal]. *)
+
+let save_store (store : Param.store) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Param.iter store (fun p ->
+          Printf.fprintf oc "%s %d %d\n" p.Param.name (Param.rows p) (Param.cols p);
+          let data = p.Param.value.Tensor.data in
+          Array.iteri
+            (fun i x ->
+              if i > 0 then output_char oc ' ';
+              Printf.fprintf oc "%.17g" x)
+            data;
+          output_char oc '\n'))
+
+(** Load values into an existing store; every parameter in the file must
+    already exist with matching shape (create the model first, then load). *)
+let load_store (store : Param.store) path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let header = input_line ic in
+          match String.split_on_char ' ' header with
+          | [ name; rows; cols ] ->
+              let rows = int_of_string rows and cols = int_of_string cols in
+              let p = Param.find store name in
+              if Param.rows p <> rows || Param.cols p <> cols then
+                failwith ("Serialize.load_store: shape mismatch for " ^ name);
+              let values = input_line ic in
+              let parts =
+                String.split_on_char ' ' values
+                |> List.filter (fun s -> s <> "")
+                |> List.map float_of_string
+              in
+              if List.length parts <> Param.size p then
+                failwith ("Serialize.load_store: size mismatch for " ^ name);
+              List.iteri (fun i x -> p.Param.value.Tensor.data.(i) <- x) parts
+          | _ -> failwith "Serialize.load_store: malformed header"
+        done
+      with End_of_file -> ())

@@ -1,0 +1,158 @@
+(** Dense row-major float tensors (rank 1 and 2) and the raw numeric kernels
+    the autodiff layer is built on.
+
+    A tensor is a flat [float array] plus a [rows]/[cols] shape; vectors are
+    represented with [rows = 1].  All kernels are written with [unsafe_get] /
+    [unsafe_set] inner loops because they dominate training time. *)
+
+type t = { data : float array; rows : int; cols : int }
+
+let size t = t.rows * t.cols
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Tensor.create: non-positive dim";
+  { data = Array.make (rows * cols) 0.0; rows; cols }
+
+let zeros = create
+
+let full rows cols x = { data = Array.make (rows * cols) x; rows; cols }
+
+(** Vector (1 x n) from an array; the array is copied. *)
+let of_array a = { data = Array.copy a; rows = 1; cols = Array.length a }
+
+(** Matrix from a row-major nested array. Rows must be nonempty and equal
+    length. *)
+let of_rows rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Tensor.of_rows: empty";
+  let cols = Array.length rows_arr.(0) in
+  let t = create rows cols in
+  Array.iteri
+    (fun i r ->
+      if Array.length r <> cols then invalid_arg "Tensor.of_rows: ragged";
+      Array.blit r 0 t.data (i * cols) cols)
+    rows_arr;
+  t
+
+let copy t = { t with data = Array.copy t.data }
+
+let get t i j = t.data.(i * t.cols + j)
+let set t i j x = t.data.(i * t.cols + j) <- x
+
+let fill t x = Array.fill t.data 0 (size t) x
+
+let same_shape a b = a.rows = b.rows && a.cols = b.cols
+
+let check_same_shape name a b =
+  if not (same_shape a b) then
+    invalid_arg
+      (Printf.sprintf "%s: shape mismatch (%dx%d vs %dx%d)" name a.rows a.cols
+         b.rows b.cols)
+
+(* ------------------------------------------------------------------ *)
+(* In-place kernels on raw arrays.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [axpy a x y] computes [y <- a*x + y] elementwise over raw arrays. *)
+let axpy a x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Tensor.axpy: length mismatch";
+  for i = 0 to n - 1 do
+    Array.unsafe_set y i
+      ((a *. Array.unsafe_get x i) +. Array.unsafe_get y i)
+  done
+
+(** [matvec m x out] computes [out <- m * x] where [x] has length [m.cols]
+    and [out] has length [m.rows]. *)
+let matvec m x out =
+  if Array.length x <> m.cols then invalid_arg "Tensor.matvec: bad x";
+  if Array.length out <> m.rows then invalid_arg "Tensor.matvec: bad out";
+  let data = m.data and cols = m.cols in
+  for i = 0 to m.rows - 1 do
+    let base = i * cols in
+    let acc = ref 0.0 in
+    for j = 0 to cols - 1 do
+      acc := !acc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set out i !acc
+  done
+
+(** [matvec_t_acc m g x_grad] accumulates [x_grad += m^T * g]; the transpose
+    product needed to backpropagate through {!matvec}. *)
+let matvec_t_acc m g x_grad =
+  if Array.length g <> m.rows then invalid_arg "Tensor.matvec_t_acc: bad g";
+  if Array.length x_grad <> m.cols then
+    invalid_arg "Tensor.matvec_t_acc: bad x_grad";
+  let data = m.data and cols = m.cols in
+  for i = 0 to m.rows - 1 do
+    let gi = Array.unsafe_get g i in
+    if gi <> 0.0 then begin
+      let base = i * cols in
+      for j = 0 to cols - 1 do
+        Array.unsafe_set x_grad j
+          (Array.unsafe_get x_grad j +. (gi *. Array.unsafe_get data (base + j)))
+      done
+    end
+  done
+
+(** [outer_acc g x m_grad] accumulates [m_grad += g x^T]; the weight gradient
+    of {!matvec}. *)
+let outer_acc g x m_grad =
+  let rows = Array.length g and cols = Array.length x in
+  if Array.length m_grad.data <> rows * cols then
+    invalid_arg "Tensor.outer_acc: bad m_grad";
+  let data = m_grad.data in
+  for i = 0 to rows - 1 do
+    let gi = Array.unsafe_get g i in
+    if gi <> 0.0 then begin
+      let base = i * cols in
+      for j = 0 to cols - 1 do
+        Array.unsafe_set data (base + j)
+          (Array.unsafe_get data (base + j) +. (gi *. Array.unsafe_get x j))
+      done
+    end
+  done
+
+let dot x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Tensor.dot: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (Array.unsafe_get x i *. Array.unsafe_get y i)
+  done;
+  !acc
+
+let map f t = { t with data = Array.map f t.data }
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let l2_norm t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+
+let max_elt t = Array.fold_left Stdlib.max neg_infinity t.data
+
+let argmax a =
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best
+
+(** Numerically stable softmax of a raw array, returned as a fresh array. *)
+let softmax a =
+  let m = Array.fold_left Stdlib.max neg_infinity a in
+  let e = Array.map (fun x -> exp (x -. m)) a in
+  let z = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun x -> x /. z) e
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>tensor %dx%d" t.rows t.cols;
+  for i = 0 to Stdlib.min 4 (t.rows - 1) do
+    Fmt.pf ppf "@,[";
+    for j = 0 to Stdlib.min 7 (t.cols - 1) do
+      Fmt.pf ppf "%s%.4f" (if j > 0 then "; " else "") (get t i j)
+    done;
+    if t.cols > 8 then Fmt.pf ppf "; ...";
+    Fmt.pf ppf "]"
+  done;
+  if t.rows > 5 then Fmt.pf ppf "@,...";
+  Fmt.pf ppf "@]"

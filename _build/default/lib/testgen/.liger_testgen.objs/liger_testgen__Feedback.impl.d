@@ -1,0 +1,1 @@
+lib/testgen/feedback.ml: Ast Blended Exec_trace Hashtbl Interp Liger_lang Liger_symexec Liger_trace List Randgen Symexec

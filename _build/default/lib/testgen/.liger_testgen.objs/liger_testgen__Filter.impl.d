@@ -1,0 +1,1 @@
+lib/testgen/filter.ml: Ast Feedback Hashtbl Liger_lang List Option Typecheck

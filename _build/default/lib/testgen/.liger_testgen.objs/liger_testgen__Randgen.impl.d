@@ -1,0 +1,1 @@
+lib/testgen/randgen.ml: Array Ast Liger_lang Liger_tensor List Option Rng String Value

@@ -1,0 +1,96 @@
+(** Feedback-directed test generation, standing in for Randoop (§6.1).
+
+    The generator alternates two strategies: (1) directed inputs from the
+    bounded symbolic executor, which nail the scalar-guarded paths, and
+    (2) random inputs with pool reuse, which discover the rest.  Feedback is
+    twofold, as in Randoop: inputs that produce a new path (or deepen an
+    under-populated path group) are kept and their observed values are fed
+    back into the generation pool; inputs that crash the method are
+    remembered only as evidence for filtering. *)
+
+open Liger_lang
+open Liger_trace
+open Liger_symexec
+
+type budget = {
+  max_attempts : int;       (* total executions allowed (Randoop's timeout) *)
+  target_paths : int;       (* stop once this many distinct paths are found *)
+  per_path : int;           (* desired concrete executions per path *)
+  fuel : int;               (* interpreter step budget per execution *)
+}
+
+let default_budget = { max_attempts = 400; target_paths = 20; per_path = 5; fuel = 20_000 }
+
+type result = {
+  traces : Exec_trace.t list;  (* successful traces only *)
+  n_attempts : int;
+  n_crashes : int;
+  n_timeouts : int;
+  gave_up : bool;  (* no successful execution within the budget *)
+}
+
+let path_key tr = Exec_trace.path_key tr
+
+(** Generate executions for [meth].  Deterministic given [rng]. *)
+let generate ?(budget = default_budget) rng (meth : Ast.meth) : result =
+  let pool = Randgen.create_pool () in
+  let groups : (int * int, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let kept = ref [] in
+  let n_attempts = ref 0 in
+  let n_crashes = ref 0 in
+  let n_timeouts = ref 0 in
+  let full_groups () =
+    Hashtbl.fold (fun _ count acc -> if !count >= budget.per_path then acc + 1 else acc)
+      groups 0
+  in
+  let consider args =
+    incr n_attempts;
+    let tr = Exec_trace.collect ~fuel:budget.fuel ~keep_steps:64 meth args in
+    match tr.Exec_trace.outcome with
+    | Interp.Crashed _ -> incr n_crashes
+    | Interp.Timeout -> incr n_timeouts
+    | Interp.Returned ret ->
+        let key = path_key tr in
+        let count =
+          match Hashtbl.find_opt groups key with
+          | Some c -> c
+          | None ->
+              let c = ref 0 in
+              Hashtbl.add groups key c;
+              c
+        in
+        if !count < budget.per_path then begin
+          incr count;
+          kept := tr :: !kept;
+          (* feed observed values back into the pool *)
+          List.iter (Randgen.remember pool) args;
+          Randgen.remember pool ret
+        end
+  in
+  (* phase 1: directed inputs from symbolic execution *)
+  let directed =
+    Symexec.generate_inputs
+      ~config:{ Symexec.max_paths = 48; max_steps = 400 }
+      rng meth
+  in
+  List.iter
+    (fun args -> if !n_attempts < budget.max_attempts then consider args)
+    directed;
+  (* phase 2: random generation until the budget or the targets are hit *)
+  while
+    !n_attempts < budget.max_attempts
+    && not (Hashtbl.length groups >= budget.target_paths
+            && full_groups () >= min budget.target_paths (Hashtbl.length groups))
+  do
+    consider (Randgen.args ~pool rng meth)
+  done;
+  {
+    traces = List.rev !kept;
+    n_attempts = !n_attempts;
+    n_crashes = !n_crashes;
+    n_timeouts = !n_timeouts;
+    gave_up = Hashtbl.length groups = 0;
+  }
+
+(** Blended traces straight from a generation result. *)
+let blended meth (r : result) = Blended.group meth r.traces

@@ -1,0 +1,77 @@
+(** The dataset filtering pipeline behind Table 1.
+
+    The paper keeps only a subset of Java-med/Java-large, dropping methods
+    for four reasons: (1) they do not compile, (2) they reference external
+    packages the test generator cannot see, (3) test generation exceeds its
+    timeout, and (4) they are too small to be interesting.  This module
+    reproduces that pipeline over MiniJava: the typechecker plays javac,
+    {!Feedback} plays Randoop, and the corpus generator marks a fraction of
+    methods as depending on unavailable libraries. *)
+
+open Liger_lang
+
+type reason =
+  | No_compile        (* typechecker rejects *)
+  | External_deps     (* references packages unavailable to the generator *)
+  | Testgen_timeout   (* Randoop-analogue produced no usable execution *)
+  | Too_small         (* "a couple of lines" *)
+
+let reason_to_string = function
+  | No_compile -> "does not compile"
+  | External_deps -> "missing external packages"
+  | Testgen_timeout -> "test generation timeout"
+  | Too_small -> "too small"
+
+type verdict =
+  | Kept of Feedback.result
+  | Dropped of reason
+
+(** A raw corpus entry before filtering: the method plus provenance flags
+    set by the corpus generator. *)
+type candidate = {
+  meth : Ast.meth;
+  uses_external : bool;  (* simulates references to unavailable libraries *)
+}
+
+let min_statements = 3
+
+(** Classify one candidate, running test generation only if the static gates
+    pass (the cheap checks run first, as in the paper's pipeline). *)
+let classify ?budget rng (c : candidate) : verdict =
+  if not (Typecheck.is_well_typed c.meth) then Dropped No_compile
+  else if c.uses_external then Dropped External_deps
+  else if Ast.stmt_count c.meth < min_statements then Dropped Too_small
+  else
+    let r = Feedback.generate ?budget rng c.meth in
+    if r.Feedback.gave_up then Dropped Testgen_timeout else Kept r
+
+type stats = {
+  original : int;
+  filtered : int;  (* surviving *)
+  by_reason : (reason * int) list;
+}
+
+(** Run the pipeline over a corpus and tally Table 1's columns. *)
+let run ?budget rng (candidates : candidate list) =
+  let tally = Hashtbl.create 4 in
+  let kept = ref [] in
+  List.iter
+    (fun c ->
+      match classify ?budget rng c with
+      | Kept r -> kept := (c.meth, r) :: !kept
+      | Dropped reason ->
+          Hashtbl.replace tally reason
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tally reason)))
+    candidates;
+  let by_reason =
+    List.filter_map
+      (fun r ->
+        match Hashtbl.find_opt tally r with Some n -> Some (r, n) | None -> None)
+      [ No_compile; External_deps; Testgen_timeout; Too_small ]
+  in
+  ( List.rev !kept,
+    { original = List.length candidates; filtered = List.length !kept; by_reason } )
+
+(** Convenience: kept methods with their blended traces. *)
+let kept_blended kept =
+  List.map (fun (meth, r) -> (meth, Feedback.blended meth r)) kept

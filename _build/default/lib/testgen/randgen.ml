@@ -1,0 +1,98 @@
+(** Random input generation with a Randoop-style value pool.
+
+    Values are drawn from skewed distributions that favour boundary cases
+    (empty arrays, zero, single characters) and — the feedback-directed
+    ingredient — previously observed values are reused across arguments with
+    some probability, which is how related inputs (equal strings, rotations,
+    shared lengths) arise without task-specific knowledge. *)
+
+open Liger_lang
+open Liger_tensor
+
+type pool = {
+  mutable ints : int list;
+  mutable strs : string list;
+  mutable arrs : int array list;
+}
+
+let create_pool () = { ints = [ 0; 1; -1 ]; strs = [ "" ]; arrs = [ [||] ] }
+
+let rec remember pool (v : Value.t) =
+  let cap l = if List.length l > 64 then List.filteri (fun i _ -> i < 48) l else l in
+  match v with
+  | Value.VInt n -> pool.ints <- cap (n :: pool.ints)
+  | Value.VStr s -> if String.length s <= 16 then pool.strs <- cap (s :: pool.strs)
+  | Value.VArr a -> if Array.length a <= 16 then pool.arrs <- cap (a :: pool.arrs)
+  | Value.VBool _ -> ()
+  | Value.VObj fields -> Array.iter (fun (_, v) -> remember pool v) fields
+
+let alphabet = "abcdxyz"
+
+let fresh_int rng =
+  (* mostly small, sometimes boundary-ish *)
+  match Rng.int rng 10 with
+  | 0 -> 0
+  | 1 -> Rng.choose rng [| -1; 1 |]
+  | 2 -> Rng.int_range rng 20 100
+  | 3 -> Rng.int_range rng (-100) (-20)
+  | _ -> Rng.int_range rng (-12) 12
+
+let fresh_string rng =
+  let n =
+    match Rng.int rng 8 with 0 -> 0 | 1 -> 1 | k -> 1 + (k mod 6)
+  in
+  String.init n (fun _ -> alphabet.[Rng.int rng (String.length alphabet)])
+
+let fresh_array rng =
+  let n = match Rng.int rng 8 with 0 -> 0 | 1 -> 1 | k -> 1 + (k mod 7) in
+  let a = Array.init n (fun _ -> Rng.int_range rng (-12) 12) in
+  (* occasionally produce already-sorted / reversed / constant arrays, the
+     boundary behaviours of sorting and searching routines *)
+  (match Rng.int rng 6 with
+  | 0 -> Array.sort compare a
+  | 1 ->
+      Array.sort compare a;
+      let n = Array.length a in
+      for i = 0 to (n / 2) - 1 do
+        let t = a.(i) in
+        a.(i) <- a.(n - 1 - i);
+        a.(n - 1 - i) <- t
+      done
+  | 2 -> if n > 0 then Array.fill a 0 n a.(0)
+  | _ -> ());
+  a
+
+(** Draw one value of type [t], reusing the pool about a third of the
+    time. *)
+let value ?pool rng (t : Ast.typ) : Value.t =
+  let reuse l = match (pool, l) with
+    | Some _, (_ :: _ as l) when Rng.bernoulli rng 0.35 -> Some (Rng.choose_list rng l)
+    | _ -> None
+  in
+  match t with
+  | Ast.Tint -> (
+      match Option.bind pool (fun p -> reuse p.ints) with
+      | Some n -> Value.VInt n
+      | None -> Value.VInt (fresh_int rng))
+  | Ast.Tbool -> Value.VBool (Rng.bool rng)
+  | Ast.Tstring -> (
+      match Option.bind pool (fun p -> reuse p.strs) with
+      | Some s ->
+          (* reuse exactly, or as a derived value (rotation / copy with one
+             change) — cheap way to exercise string-comparison paths *)
+          if Rng.bernoulli rng 0.5 || String.length s = 0 then Value.VStr s
+          else
+            let k = Rng.int rng (String.length s) in
+            Value.VStr (String.sub s k (String.length s - k) ^ String.sub s 0 k)
+      | None -> Value.VStr (fresh_string rng))
+  | Ast.Tarray -> (
+      match Option.bind pool (fun p -> reuse p.arrs) with
+      | Some a -> Value.VArr (Array.copy a)
+      | None -> Value.VArr (fresh_array rng))
+  | Ast.Tobj ->
+      Value.VObj
+        [| ("x", Value.VInt (fresh_int rng)); ("y", Value.VInt (fresh_int rng)) |]
+
+(** Random argument vector for a method. *)
+let args ?pool rng (meth : Ast.meth) =
+  List.map (fun (t, _) -> value ?pool rng t) meth.Ast.params

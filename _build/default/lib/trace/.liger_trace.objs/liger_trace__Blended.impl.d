@@ -1,0 +1,1 @@
+lib/trace/blended.ml: Array Ast Exec_trace Hashtbl Liger_lang List Value

@@ -1,0 +1,1 @@
+lib/trace/coverage.ml: Ast Blended Liger_lang List Option

@@ -1,0 +1,1 @@
+lib/trace/encode.ml: Array Ast Blended Char Liger_lang List Pretty Printf String Value Vocab

@@ -1,0 +1,1 @@
+lib/trace/exec_trace.ml: Ast Buffer Hashtbl Interp Liger_lang List Pretty Printf String Value

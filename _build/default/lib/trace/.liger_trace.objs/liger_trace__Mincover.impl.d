@@ -1,0 +1,1 @@
+lib/trace/mincover.ml: Blended Int List Set

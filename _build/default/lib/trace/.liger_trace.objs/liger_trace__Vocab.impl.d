@@ -1,0 +1,1 @@
+lib/trace/vocab.ml: Array Buffer Fun Hashtbl List String

@@ -1,0 +1,103 @@
+(** Blended traces (Definition 5.1).
+
+    A blended trace λ pairs one symbolic trace σ — a sequence of executed
+    statements — with the program states that several concrete executions of
+    the {e same path} created at each statement.  [group] builds them from a
+    bag of execution traces by grouping on the symbolic signature, exactly
+    the construction the paper uses on Randoop's output ("we group concrete
+    executions that traverse the same program path"). *)
+
+open Liger_lang
+
+(** One step θ = ⟨e, S⟩: the statement (with its branch outcome for
+    conditions) and the states each grouped execution created there. *)
+type step = {
+  stmt : Ast.stmt;
+  branch : bool option;
+  states : (string * Value.t option) list array;  (* one per concrete trace *)
+}
+
+type t = {
+  signature : (int * bool option) list;
+  steps : step list;
+  n_concrete : int;
+  lines : int list;  (* distinct source lines this path covers *)
+}
+
+let length t = List.length t.steps
+
+(** Group execution traces by program path.  Traces of unequal signatures
+    form distinct blended traces; within a group, per-step states line up
+    index by index because equal signatures imply equal step counts.
+    Non-[ok] traces (crash/timeout) are dropped: the paper filters programs
+    whose tests fail.  Returns blended traces sorted by group size,
+    largest first. *)
+let group (meth : Ast.meth) (traces : Exec_trace.t list) =
+  let by_sid = Hashtbl.create 64 in
+  Ast.iter_stmts (fun s -> Hashtbl.replace by_sid s.Ast.sid s) meth.Ast.body;
+  (* group on the full-path key (hash + length); stored steps of grouped
+     traces are then positionally aligned by construction *)
+  let groups : (int * int, Exec_trace.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun tr ->
+      if Exec_trace.ok tr then begin
+        let key = Exec_trace.path_key tr in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := tr :: !l
+        | None ->
+            Hashtbl.add groups key (ref [ tr ]);
+            order := key :: !order
+      end)
+    traces;
+  let blended =
+    List.rev_map
+      (fun key ->
+        let members = List.rev !(Hashtbl.find groups key) in
+        let signature = Exec_trace.path_signature (List.hd members) in
+        let state_rows =
+          (* state_rows.(k) = state trace of the k-th member *)
+          Array.of_list (List.map (fun tr -> Array.of_list (Exec_trace.state_trace tr)) members)
+        in
+        let steps =
+          List.mapi
+            (fun j (sid, branch) ->
+              let stmt =
+                match Hashtbl.find_opt by_sid sid with
+                | Some s -> s
+                | None -> invalid_arg "Blended.group: trace references foreign statement"
+              in
+              { stmt; branch; states = Array.map (fun row -> row.(j)) state_rows })
+            signature
+        in
+        let lines = Exec_trace.lines_covered meth (List.hd members) in
+        { signature; steps; n_concrete = List.length members; lines })
+      !order
+  in
+  List.sort (fun a b -> compare b.n_concrete a.n_concrete) blended
+
+(** Keep at most [n] concrete traces per step (down-sampling experiments,
+    §6.1.2).  The same trace indices are kept at every step so the retained
+    state traces remain coherent executions. *)
+let limit_concrete n t =
+  if n <= 0 then invalid_arg "Blended.limit_concrete: n must be positive";
+  let keep = min n t.n_concrete in
+  {
+    t with
+    steps = List.map (fun s -> { s with states = Array.sub s.states 0 keep }) t.steps;
+    n_concrete = keep;
+  }
+
+(** Truncate a blended trace to its first [n] steps (model input caps). *)
+let truncate n t =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  if length t <= n then t
+  else { t with steps = take n t.steps; signature = take n t.signature }
+
+(** Total number of concrete executions across a set of blended traces — the
+    quantity Figures 6/7 trade off against accuracy. *)
+let total_executions ts = List.fold_left (fun acc t -> acc + t.n_concrete) 0 ts

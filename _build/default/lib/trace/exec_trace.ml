@@ -1,0 +1,109 @@
+(** Execution traces and their two projections (Definitions 2.1–2.3).
+
+    An execution trace π is the sequence of (statement, post-state) steps an
+    input induces; its {e symbolic trace} σ is the statement projection and
+    its {e state trace} ε is the state projection.  Two executions follow the
+    same program path iff their symbolic signatures — statement ids plus
+    branch outcomes — are equal; this is the grouping key for blended
+    traces.
+
+    Memory: stored steps are truncated to [keep_steps] (model encoders cap
+    traces far below that anyway), but path identity and line coverage are
+    computed over the {e full} execution: the path is identified by a rolling
+    hash of the complete signature plus its length, and the covered lines
+    are accumulated during execution. *)
+
+open Liger_lang
+
+type t = {
+  input : Value.t list;
+  outcome : Interp.outcome;
+  steps : Interp.step list;  (* first [keep_steps] steps only *)
+  n_steps : int;             (* full execution length *)
+  sig_hash : int;            (* hash of the full symbolic signature *)
+  lines : int list;          (* full line coverage, sorted *)
+}
+
+let combine_hash h (sid, branch) =
+  let b = match branch with None -> 0 | Some false -> 1 | Some true -> 2 in
+  (h * 1000003) lxor ((sid * 3) + b) land max_int
+
+(** Run [meth] on [input] and record its execution trace. *)
+let collect ?fuel ?(keep_steps = 192) (meth : Ast.meth) input =
+  let line_of = Hashtbl.create 64 in
+  Ast.iter_stmts (fun s -> Hashtbl.replace line_of s.Ast.sid s.Ast.line) meth.Ast.body;
+  let kept = ref [] in
+  let n = ref 0 in
+  let h = ref 0 in
+  let lines = Hashtbl.create 16 in
+  let on_step (step : Interp.step) =
+    if !n < keep_steps then kept := step :: !kept;
+    incr n;
+    h := combine_hash !h (step.Interp.step_sid, step.Interp.step_branch);
+    match Hashtbl.find_opt line_of step.Interp.step_sid with
+    | Some line -> Hashtbl.replace lines line ()
+    | None -> ()
+  in
+  let outcome = Interp.run ?fuel ~on_step meth input in
+  {
+    input;
+    outcome;
+    steps = List.rev !kept;
+    n_steps = !n;
+    sig_hash = !h;
+    lines = List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) lines []);
+  }
+
+let ok t = match t.outcome with Interp.Returned _ -> true | _ -> false
+
+let length t = t.n_steps
+
+(** The (truncated) symbolic signature: statement ids with branch outcomes.
+    Definition 2.2's σ is recovered from this by resolving ids against the
+    method body.  Full-path identity is [(sig_hash, n_steps)]. *)
+let path_signature t =
+  List.map (fun s -> (s.Interp.step_sid, s.Interp.step_branch)) t.steps
+
+(** A key identifying the complete program path. *)
+let path_key t = (t.sig_hash, t.n_steps)
+
+(** Definition 2.3's state trace ε: the sequence of program states. *)
+let state_trace t = List.map (fun s -> s.Interp.step_env) t.steps
+
+(** Distinct source lines exercised over the whole execution. *)
+let lines_covered (_meth : Ast.meth) t = t.lines
+
+(** Pretty-print an execution trace in the style of Figure 2: one line per
+    step showing the full program state. *)
+let to_display (meth : Ast.meth) t =
+  let by_sid = Hashtbl.create 64 in
+  Ast.iter_stmts (fun s -> Hashtbl.replace by_sid s.Ast.sid s) meth.Ast.body;
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (step : Interp.step) ->
+      let stmt_str =
+        match Hashtbl.find_opt by_sid step.Interp.step_sid with
+        | Some s -> Pretty.stmt_head_to_string s
+        | None -> "?"
+      in
+      let branch =
+        match step.Interp.step_branch with
+        | Some true -> " [taken]"
+        | Some false -> " [not taken]"
+        | None -> ""
+      in
+      let state =
+        String.concat "; "
+          (List.map
+             (fun (x, v) ->
+               Printf.sprintf "%s:%s" x
+                 (match v with Some v -> Value.to_display v | None -> "⊥"))
+             step.Interp.step_env)
+      in
+      Buffer.add_string buf (Printf.sprintf "%-30s%s  {%s}\n" stmt_str branch state))
+    t.steps;
+  if t.n_steps > List.length t.steps then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d further steps not stored)\n"
+         (t.n_steps - List.length t.steps));
+  Buffer.contents buf

@@ -1,0 +1,125 @@
+(** Token vocabularies.
+
+    The paper keeps one vocabulary covering both feature dimensions — source
+    tokens and AST node types (D_s) together with runtime values (D_d) —
+    each mapped to a learned vector (§5.1.1).  A vocabulary is built in a
+    mutable phase (training-set pass), then frozen; unseen tokens map to
+    [unk] afterwards. *)
+
+type t = {
+  tbl : (string, int) Hashtbl.t;
+  mutable names : string array;  (* names.(i) = token with id i *)
+  mutable count : int;
+  mutable frozen : bool;
+}
+
+let unk_token = "<unk>"
+let pad_token = "<pad>"
+let sos_token = "<s>"
+let eos_token = "</s>"
+
+let unk_id = 1
+let sos_id = 2
+let eos_id = 3
+
+let add v tok =
+  if v.count = Array.length v.names then begin
+    let bigger = Array.make (2 * v.count) "" in
+    Array.blit v.names 0 bigger 0 v.count;
+    v.names <- bigger
+  end;
+  let i = v.count in
+  v.names.(i) <- tok;
+  v.count <- i + 1;
+  Hashtbl.replace v.tbl tok i;
+  i
+
+let create () =
+  let v = { tbl = Hashtbl.create 256; names = Array.make 64 ""; count = 0; frozen = false } in
+  List.iter (fun tok -> ignore (add v tok)) [ pad_token; unk_token; sos_token; eos_token ];
+  v
+
+let size v = v.count
+
+(** Intern [tok]: allocate an id while building, fall back to [unk] once
+    frozen. *)
+let id v tok =
+  match Hashtbl.find_opt v.tbl tok with
+  | Some i -> i
+  | None -> if v.frozen then unk_id else add v tok
+
+let mem v tok = Hashtbl.mem v.tbl tok
+
+let freeze v = v.frozen <- true
+
+let is_frozen v = v.frozen
+
+(** The token string of an id (for decoding predictions). *)
+let name v i = if i < 0 || i >= v.count then unk_token else v.names.(i)
+
+(** All (token, id) pairs, id-ascending. *)
+let to_list v = List.init v.count (fun i -> (v.names.(i), i))
+
+(* ---------------- persistence ----------------
+
+   A trained model is only usable with the vocabulary it was trained
+   against, so vocabularies save/load alongside parameter stores.  Format:
+   one line per token, id = line number; tokens are escaped so newlines
+   cannot corrupt the framing. *)
+
+let escape tok =
+  let buf = Buffer.create (String.length tok) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    tok;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | c -> Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+(** Save a vocabulary to [path]; frozen status is not recorded (loaded
+    vocabularies are always frozen). *)
+let save v path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      for i = 0 to v.count - 1 do
+        output_string oc (escape v.names.(i));
+        output_char oc '\n'
+      done)
+
+(** Load a vocabulary saved by {!save}; the result is frozen. *)
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let v = { tbl = Hashtbl.create 256; names = Array.make 64 ""; count = 0; frozen = false } in
+      (try
+         while true do
+           let line = input_line ic in
+           ignore (add v (unescape line))
+         done
+       with End_of_file -> ());
+      v.frozen <- true;
+      (* sanity: the four reserved tokens must be where create() puts them *)
+      if v.count < 4 || v.names.(0) <> pad_token || v.names.(1) <> unk_token then
+        failwith "Vocab.load: not a vocabulary file";
+      v)

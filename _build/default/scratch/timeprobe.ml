@@ -1,0 +1,16 @@
+open Liger_eval
+let () =
+  let t0 = Unix.gettimeofday () in
+  let ctx = Experiments.create_ctx ~scale:Experiments.quick () in
+  ctx.Experiments.progress <- (fun s -> Printf.printf "[%.1fs] %s\n%!" (Unix.gettimeofday () -. t0) s);
+  let c = Lazy.force ctx.Experiments.med in
+  let (a,b,d) = Liger_dataset.Pipeline.sizes c in
+  Printf.printf "[%.1fs] med built: %d/%d/%d vocab=%d\n%!" (Unix.gettimeofday () -. t0) a b d (Liger_trace.Vocab.size c.Liger_dataset.Pipeline.vocab);
+  let go kind =
+    let r = Experiments.run ctx ~corpus:`Med ~kind ~view:Liger_core.Common.full_view in
+    Printf.printf "[%.1fs] %-18s F1=%.2f att=%.3f\n%!" (Unix.gettimeofday () -. t0) r.Experiments.model (Experiments.score_of r) r.Experiments.static_attention
+  in
+  go Experiments.liger_full;
+  go Experiments.Dypro_k;
+  go Experiments.Code2seq_k;
+  go Experiments.Code2vec_k

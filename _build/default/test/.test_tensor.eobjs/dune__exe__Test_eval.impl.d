@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Common Experiments Filename Float Fun Lazy Liger_core Liger_dataset Liger_eval Liger_model Liger_tensor List Metrics Pipeline Report Rng String Sys Train Unix Zoo

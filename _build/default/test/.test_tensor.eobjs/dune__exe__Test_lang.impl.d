@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Char Fun Interp Lexer Liger_lang Liger_tensor List Mutate Parser Pretty Printf QCheck QCheck_alcotest Rng String Subtoken Token Typecheck Value

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Autodiff Filename Float Fun Gen Liger_tensor List Optimizer Param QCheck QCheck_alcotest Rng Serialize Sys Tensor

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Ast Blended Coverage Encode Exec_trace Filename Liger_lang Liger_trace List Mincover Parser Printf QCheck QCheck_alcotest String Sys Value Vocab

@@ -1,0 +1,428 @@
+(* Tests for bounded symbolic execution, the branch-distance solver and the
+   feedback-directed test generator.  The key end-to-end invariant: inputs
+   solved from a symbolic path, when run concretely, follow exactly that
+   path's signature. *)
+
+open Liger_lang
+open Liger_trace
+open Liger_symexec
+open Liger_testgen
+open Liger_tensor
+
+let parse = Parser.method_of_string
+
+let classify_src =
+  {|
+method classifySign(int x) : int {
+  if (x < 0) {
+    return 0 - 1;
+  }
+  if (x == 0) {
+    return 0;
+  }
+  return 1;
+}
+|}
+
+let sum_src =
+  {|
+method sumTo(int n) : int {
+  int s = 0;
+  for (int i = 1; i <= n; i++) {
+    s += i;
+  }
+  return s;
+}
+|}
+
+let max_src =
+  {|
+method findMax(int[] a) : int {
+  int best = a[0];
+  for (int i = 1; i < a.length; i++) {
+    if (a[i] > best) {
+      best = a[i];
+    }
+  }
+  return best;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Symval                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let vint n = Symval.Const (Value.VInt n)
+
+let test_constant_folding () =
+  let e = Symval.binop Ast.Add (vint 2) (vint 3) in
+  Alcotest.(check bool) "folds" true (e = vint 5);
+  let e = Symval.binop Ast.Add (Symval.Input "x") (vint 0) in
+  Alcotest.(check bool) "x+0 = x" true (e = Symval.Input "x");
+  let e = Symval.unop Ast.Not (Symval.unop Ast.Not (Symval.Input "b")) in
+  Alcotest.(check bool) "double negation" true (e = Symval.Input "b")
+
+let test_fold_preserves_division_crash () =
+  (* division by zero must not be folded away into a bogus constant *)
+  let e = Symval.binop Ast.Div (vint 1) (vint 0) in
+  Alcotest.(check bool) "not folded" true (not (Symval.is_const e))
+
+let test_eval_model () =
+  let e = Symval.binop Ast.Mul (Symval.Input "x") (vint 3) in
+  Alcotest.(check bool) "eval" true
+    (Value.equal (Value.VInt 21) (Symval.eval [ ("x", Value.VInt 7) ] e))
+
+let test_inputs_collection () =
+  let e =
+    Symval.binop Ast.Add (Symval.Input "a")
+      (Symval.binop Ast.Mul (Symval.Input "b") (Symval.Input "a"))
+  in
+  Alcotest.(check (list string)) "inputs" [ "a"; "b" ]
+    (List.sort compare (Symval.inputs [] e))
+
+(* ------------------------------------------------------------------ *)
+(* Solver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let solve_simple pc vars =
+  let rng = Rng.create 77 in
+  Solver.solve rng ~vars pc
+
+let test_solver_simple_ineq () =
+  (* x > 10 && x < 13 *)
+  let pc =
+    [ Symval.Binop (Ast.Gt, Symval.Input "x", vint 10);
+      Symval.Binop (Ast.Lt, Symval.Input "x", vint 13) ]
+  in
+  match solve_simple pc [ ("x", Ast.Tint) ] with
+  | Some [ ("x", Value.VInt v) ] -> Alcotest.(check bool) "in range" true (v > 10 && v < 13)
+  | _ -> Alcotest.fail "no solution found"
+
+let test_solver_equality () =
+  let pc = [ Symval.Binop (Ast.Eq, Symval.Input "x", vint 23) ] in
+  match solve_simple pc [ ("x", Ast.Tint) ] with
+  | Some [ ("x", Value.VInt 23) ] -> ()
+  | _ -> Alcotest.fail "x = 23 not found"
+
+let test_solver_two_vars () =
+  (* x + y == 10 && x - y == 4  =>  x=7, y=3 *)
+  let sum = Symval.Binop (Ast.Add, Symval.Input "x", Symval.Input "y") in
+  let diff = Symval.Binop (Ast.Sub, Symval.Input "x", Symval.Input "y") in
+  let pc = [ Symval.Binop (Ast.Eq, sum, vint 10); Symval.Binop (Ast.Eq, diff, vint 4) ] in
+  match solve_simple pc [ ("x", Ast.Tint); ("y", Ast.Tint) ] with
+  | Some model ->
+      Alcotest.(check bool) "solves system" true (Path.holds model pc)
+  | None -> Alcotest.fail "no solution found"
+
+let test_solver_bool_var () =
+  let pc = [ Symval.Unop (Ast.Not, Symval.Input "b") ] in
+  match solve_simple pc [ ("b", Ast.Tbool) ] with
+  | Some [ ("b", Value.VBool false) ] -> ()
+  | _ -> Alcotest.fail "b = false not found"
+
+let test_solver_unsat_returns_none () =
+  let pc =
+    [ Symval.Binop (Ast.Gt, Symval.Input "x", vint 5);
+      Symval.Binop (Ast.Lt, Symval.Input "x", vint 5) ]
+  in
+  Alcotest.(check bool) "unsat" true (solve_simple pc [ ("x", Ast.Tint) ] = None)
+
+let test_solver_disjunction () =
+  let pc =
+    [ Symval.Binop
+        (Ast.Or,
+         Symval.Binop (Ast.Eq, Symval.Input "x", vint (-7)),
+         Symval.Binop (Ast.Eq, Symval.Input "x", vint 9)) ]
+  in
+  match solve_simple pc [ ("x", Ast.Tint) ] with
+  | Some model -> Alcotest.(check bool) "holds" true (Path.holds model pc)
+  | None -> Alcotest.fail "no solution for disjunction"
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_path_add_prunes () =
+  let t = Symval.Const (Value.VBool true) and f = Symval.Const (Value.VBool false) in
+  Alcotest.(check bool) "true dropped" true (Path.add t Path.empty = Some []);
+  Alcotest.(check bool) "false infeasible" true (Path.add f Path.empty = None);
+  match Path.add (Symval.Input "b") Path.empty with
+  | Some pc -> Alcotest.(check int) "kept" 1 (Path.length pc)
+  | None -> Alcotest.fail "symbolic constraint dropped"
+
+(* ------------------------------------------------------------------ *)
+(* Symexec                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_explores_all_scalar_paths () =
+  let m = parse classify_src in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  let results = Symexec.explore m ~shape in
+  let returned =
+    List.filter (fun r -> match r.Symexec.outcome with Symexec.Sym_returned _ -> true | _ -> false)
+      results
+  in
+  Alcotest.(check int) "three paths" 3 (List.length returned)
+
+let test_loop_paths_bounded () =
+  let m = parse sum_src in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  let results = Symexec.explore ~config:{ Symexec.max_paths = 16; max_steps = 200 } m ~shape in
+  Alcotest.(check bool) "several unrollings" true (List.length results > 3);
+  Alcotest.(check bool) "bounded" true (List.length results <= 40)
+
+let test_symbolic_array_cells_fork () =
+  let m = parse max_src in
+  let shape = Symexec.shape_of_params ~array_len:3 m.Ast.params in
+  let results = Symexec.explore m ~shape in
+  let returned =
+    List.filter (fun r -> match r.Symexec.outcome with Symexec.Sym_returned _ -> true | _ -> false)
+      results
+  in
+  (* two data branches over 2 loop iterations -> 4 paths *)
+  Alcotest.(check int) "four data paths" 4 (List.length returned)
+
+let test_concretized_inputs_replay_signature () =
+  (* THE invariant: solving a symbolic path and running the concrete
+     interpreter on the solution reproduces that path's signature. *)
+  let rng = Rng.create 31 in
+  List.iter
+    (fun src ->
+      let m = parse src in
+      let shape = Symexec.shape_of_params ~array_len:3 m.Ast.params in
+      let results = Symexec.explore m ~shape in
+      let checked = ref 0 in
+      List.iter
+        (fun r ->
+          match r.Symexec.outcome with
+          | Symexec.Sym_returned _ -> (
+              match Symexec.concretize rng m ~shape r with
+              | Some args ->
+                  let tr = Exec_trace.collect m args in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "signature replayed (%s)" m.Ast.mname)
+                    true
+                    (Exec_trace.path_signature tr = r.Symexec.signature);
+                  incr checked
+              | None -> ())
+          | _ -> ())
+        results;
+      Alcotest.(check bool) "at least one path solved" true (!checked > 0))
+    [ classify_src; max_src; sum_src ]
+
+let test_generate_inputs_cover_paths () =
+  let rng = Rng.create 41 in
+  let m = parse classify_src in
+  let inputs = Symexec.generate_inputs rng m in
+  let paths =
+    inputs
+    |> List.map (fun args -> Exec_trace.path_signature (Exec_trace.collect m args))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all three paths covered" 3 (List.length paths)
+
+let test_abort_on_symbolic_index () =
+  let m = parse "method f(int[] a, int i) : int { return a[i]; }" in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  let results = Symexec.explore m ~shape in
+  Alcotest.(check bool) "aborted" true
+    (List.for_all
+       (fun r -> match r.Symexec.outcome with Symexec.Sym_aborted _ -> true | _ -> false)
+       results)
+
+(* ------------------------------------------------------------------ *)
+(* Feedback generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_feedback_covers_and_fills () =
+  let rng = Rng.create 51 in
+  let m = parse classify_src in
+  let r = Feedback.generate ~budget:{ Feedback.default_budget with target_paths = 3 } rng m in
+  Alcotest.(check bool) "not gave up" false r.Feedback.gave_up;
+  let bs = Feedback.blended m r in
+  Alcotest.(check int) "three paths" 3 (List.length bs);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "several concrete per path" true (b.Blended.n_concrete >= 2))
+    bs
+
+let test_feedback_sorting_method () =
+  let rng = Rng.create 52 in
+  let m =
+    parse
+      {|
+method sortIt(int[] A) : int[] {
+  for (int i = 0; i < A.length; i++) {
+    for (int j = 0; j < A.length - 1; j++) {
+      if (A[j] > A[j + 1]) {
+        int tmp = A[j];
+        A[j] = A[j + 1];
+        A[j + 1] = tmp;
+      }
+    }
+  }
+  return A;
+}
+|}
+  in
+  let r = Feedback.generate rng m in
+  let bs = Feedback.blended m r in
+  Alcotest.(check bool) "many distinct paths" true (List.length bs >= 5)
+
+let test_feedback_gives_up_on_hopeless () =
+  let rng = Rng.create 53 in
+  (* crashes on every input *)
+  let m = parse "method f(int x) : int { int z = 0; return x / z; }" in
+  let r =
+    Feedback.generate ~budget:{ Feedback.default_budget with max_attempts = 50 } rng m
+  in
+  Alcotest.(check bool) "gave up" true r.Feedback.gave_up;
+  Alcotest.(check bool) "recorded crashes" true (r.Feedback.n_crashes > 0)
+
+let test_feedback_deterministic () =
+  let m = parse classify_src in
+  let run seed =
+    let r = Feedback.generate (Rng.create seed) m in
+    List.map (fun t -> t.Exec_trace.input) r.Feedback.traces
+  in
+  Alcotest.(check bool) "same seed same traces" true (run 7 = run 7);
+  Alcotest.(check int) "attempts equal" (Feedback.generate (Rng.create 7) m).Feedback.n_attempts
+    (Feedback.generate (Rng.create 7) m).Feedback.n_attempts
+
+(* ------------------------------------------------------------------ *)
+(* Filter                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let candidate ?(uses_external = false) src =
+  { Filter.meth = parse src; uses_external }
+
+let test_filter_reasons () =
+  let rng = Rng.create 61 in
+  let check_dropped reason c =
+    match Filter.classify rng c with
+    | Filter.Dropped r -> Alcotest.(check string) "reason" (Filter.reason_to_string reason)
+        (Filter.reason_to_string r)
+    | Filter.Kept _ -> Alcotest.fail "expected drop"
+  in
+  check_dropped Filter.No_compile (candidate "method f() : int { return true; }");
+  check_dropped Filter.External_deps
+    (candidate ~uses_external:true classify_src);
+  check_dropped Filter.Too_small (candidate "method f(int x) : int { return x; }");
+  check_dropped Filter.Testgen_timeout
+    (candidate "method f(int x) : int { int z = 0; int y = x / z; return y; }")
+
+let test_filter_keeps_good () =
+  let rng = Rng.create 62 in
+  match Filter.classify rng (candidate classify_src) with
+  | Filter.Kept r -> Alcotest.(check bool) "has traces" true (r.Feedback.traces <> [])
+  | Filter.Dropped r -> Alcotest.failf "dropped: %s" (Filter.reason_to_string r)
+
+let test_filter_stats () =
+  let rng = Rng.create 63 in
+  let corpus =
+    [ candidate classify_src;
+      candidate sum_src;
+      candidate ~uses_external:true classify_src;
+      candidate "method f() : int { return true; }";
+      candidate "method f(int x) : int { return x; }" ]
+  in
+  let kept, stats = Filter.run rng corpus in
+  Alcotest.(check int) "original" 5 stats.Filter.original;
+  Alcotest.(check int) "filtered" 2 stats.Filter.filtered;
+  Alcotest.(check int) "kept list" 2 (List.length kept);
+  Alcotest.(check int) "three reasons" 3 (List.length stats.Filter.by_reason)
+
+(* property: generated inputs always typecheck against the signature *)
+let prop_randgen_well_typed =
+  QCheck.Test.make ~name:"random args match parameter types" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let m = parse max_src in
+      let args = Randgen.args rng m in
+      List.for_all2
+        (fun (t, _) v -> Value.type_of v = t)
+        m.Ast.params args)
+
+(* property: whenever the solver claims a model, the model satisfies the
+   whole path condition *)
+let prop_solver_sound =
+  QCheck.Test.make ~name:"solver models satisfy their path conditions" ~count:60
+    QCheck.(triple small_int (int_range (-20) 20) (int_range (-20) 20))
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let pc =
+        [ Symval.Binop (Ast.Ge, Symval.Input "x", vint lo);
+          Symval.Binop (Ast.Le, Symval.Input "x", vint hi);
+          Symval.Binop
+            (Ast.Eq,
+             Symval.Binop (Ast.Mod, Symval.Binop (Ast.Add, Symval.Input "x", vint 40), vint 2),
+             vint ((lo + 40) mod 2)) ]
+      in
+      let rng = Rng.create (seed + 1) in
+      match Solver.solve rng ~vars:[ ("x", Ast.Tint) ] pc with
+      | Some model -> Path.holds model pc
+      | None -> true (* incompleteness is allowed; unsoundness is not *))
+
+(* property: explored symbolic paths of the sign classifier all have
+   distinct signatures *)
+let prop_symexec_distinct_paths =
+  QCheck.Test.make ~name:"symbolic paths have distinct signatures" ~count:20
+    QCheck.small_int
+    (fun _ ->
+      let m = parse classify_src in
+      let shape = Symexec.shape_of_params m.Ast.params in
+      let results = Symexec.explore m ~shape in
+      let sigs =
+        List.map (fun (r : Symexec.path_result) -> r.Symexec.signature) results
+      in
+      List.length sigs = List.length (List.sort_uniq compare sigs))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_randgen_well_typed; prop_solver_sound; prop_symexec_distinct_paths ]
+
+let () =
+  Alcotest.run "symexec"
+    [
+      ( "symval",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "division not folded" `Quick test_fold_preserves_division_crash;
+          Alcotest.test_case "eval model" `Quick test_eval_model;
+          Alcotest.test_case "inputs" `Quick test_inputs_collection;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "inequalities" `Quick test_solver_simple_ineq;
+          Alcotest.test_case "equality" `Quick test_solver_equality;
+          Alcotest.test_case "two variables" `Quick test_solver_two_vars;
+          Alcotest.test_case "bool" `Quick test_solver_bool_var;
+          Alcotest.test_case "unsat" `Quick test_solver_unsat_returns_none;
+          Alcotest.test_case "disjunction" `Quick test_solver_disjunction;
+        ] );
+      ("path", [ Alcotest.test_case "add prunes" `Quick test_path_add_prunes ]);
+      ( "symexec",
+        [
+          Alcotest.test_case "scalar paths" `Quick test_explores_all_scalar_paths;
+          Alcotest.test_case "loop bounded" `Quick test_loop_paths_bounded;
+          Alcotest.test_case "array cell forks" `Quick test_symbolic_array_cells_fork;
+          Alcotest.test_case "replay signature" `Quick test_concretized_inputs_replay_signature;
+          Alcotest.test_case "generate covers" `Quick test_generate_inputs_cover_paths;
+          Alcotest.test_case "abort symbolic index" `Quick test_abort_on_symbolic_index;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "covers and fills" `Quick test_feedback_covers_and_fills;
+          Alcotest.test_case "sorting paths" `Quick test_feedback_sorting_method;
+          Alcotest.test_case "gives up" `Quick test_feedback_gives_up_on_hopeless;
+          Alcotest.test_case "deterministic" `Quick test_feedback_deterministic;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "reasons" `Quick test_filter_reasons;
+          Alcotest.test_case "keeps good" `Quick test_filter_keeps_good;
+          Alcotest.test_case "stats" `Quick test_filter_stats;
+        ] );
+      ("qcheck", qcheck_cases);
+    ]
