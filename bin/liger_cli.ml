@@ -3,6 +3,8 @@
    Subcommands:
      trace    FILE   - run a MiniJava method on generated inputs and print
                        Figure 2-style execution traces
+     analyze  FILE   - static analysis: CFG, dataflow facts, lint verdicts
+                       and the return-value slice of every method
      paths    FILE   - bounded symbolic execution: enumerate paths, solve
                        their conditions, print the discovered inputs
      dataset         - generate a corpus and print Table 1-style statistics
@@ -12,6 +14,7 @@
 
 open Cmdliner
 open Liger_lang
+open Liger_analysis
 open Liger_trace
 open Liger_tensor
 open Liger_testgen
@@ -61,6 +64,68 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Execute a MiniJava method and print execution traces")
     Term.(const run $ file $ n $ seed)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_method (m : Ast.meth) =
+  Printf.printf "== method %s ==\n" m.Ast.mname;
+  match Typecheck.check m with
+  | Error e ->
+      Printf.printf "  does not typecheck (line %d): %s\n" e.Typecheck.line e.Typecheck.msg;
+      false
+  | Ok () ->
+      let cfg = Cfg.build m in
+      Printf.printf "-- control-flow graph (%d nodes, %d blocks) --\n%s\n"
+        (Cfg.n_nodes cfg) (Array.length cfg.Cfg.blocks)
+        (Fmt.str "%a" Cfg.pp cfg);
+      let reach = Reaching.analyze ~cfg m in
+      Printf.printf "-- reaching definitions at exit --\n  %s\n"
+        (Fmt.str "%a" Reaching.pp_fact reach.Reaching.before.(Cfg.exit_));
+      let live = Liveness.analyze ~cfg m in
+      Printf.printf "-- live at entry (should be the parameters actually read) --\n  %s\n"
+        (Fmt.str "%a" Dataflow.pp_varset live.Liveness.live_out.(Cfg.entry));
+      let consts = Constprop.analyze ~cfg m in
+      Printf.printf "-- constants at exit --\n  %s\n"
+        (Fmt.str "%a" Constprop.pp_env consts.Constprop.before.(Cfg.exit_));
+      (match Constprop.constant_guards consts with
+      | [] -> ()
+      | gs ->
+          Printf.printf "-- constant branch guards --\n";
+          List.iter (fun (sid, b) -> Printf.printf "  #%d always %b\n" sid b) gs);
+      let relevant = Slice.relevant_vars ~cfg m in
+      let pruned =
+        List.filter
+          (fun x -> not (Dataflow.VarSet.mem x relevant))
+          (Ast.declared_vars m)
+      in
+      Printf.printf "-- return-value slice --\n  relevant: {%s}\n  prunable: {%s}\n"
+        (String.concat ", " (Dataflow.VarSet.elements relevant))
+        (String.concat ", " pruned);
+      let verdict = Lint.check m in
+      let rendered =
+        String.concat "\n  "
+          (String.split_on_char '\n' (String.trim (Fmt.str "%a" Lint.pp verdict)))
+      in
+      Printf.printf "-- lint --\n  %s\n" rendered;
+      Lint.ok verdict
+
+let analyze_cmd =
+  let run file strict =
+    let methods = Parser.methods_of_string (read_file file) in
+    if methods = [] then failwith "no method found";
+    let all_clean = List.fold_left (fun acc m -> analyze_method m && acc) true methods in
+    if strict && not all_clean then exit 1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero if any method fails to typecheck or has lint findings.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print the CFG, dataflow facts, lint verdicts and slice of each method")
+    Term.(const run $ file $ strict)
 
 (* ---------------- paths ---------------- *)
 
@@ -307,5 +372,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ trace_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd; similar_cmd;
-            experiments_cmd ]))
+          [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
+            similar_cmd; experiments_cmd ]))

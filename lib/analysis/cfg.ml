@@ -1,0 +1,196 @@
+(** Control-flow graphs over MiniJava methods.
+
+    Nodes are the method's executable statements (compound statements
+    contribute their condition, exactly as they do in symbolic traces) plus
+    distinguished [Entry]/[Exit] nodes.  Edges follow execution: [If] and the
+    loop heads branch, [Break]/[Continue] jump to their loop's continuation,
+    [Return] jumps to [Exit].  On top of the statement graph we compute
+    maximal basic blocks — straight-line [sid] runs — which every dataflow
+    pass and the [liger analyze] printer share. *)
+
+open Liger_lang
+
+type node =
+  | Entry
+  | Exit
+  | Stmt of Ast.stmt
+
+(** A maximal straight-line run of nodes. *)
+type block = {
+  bid : int;
+  nodes : int list;  (* node indices in execution order *)
+  bsuccs : int list; (* successor block ids *)
+  bpreds : int list;
+}
+
+type t = {
+  meth : Ast.meth;
+  nodes : node array;
+  succs : int list array;  (* statement-level edges, execution order *)
+  preds : int list array;
+  cond_succs : (int * int) option array;
+      (* branch nodes only: (true-target, false-target) *)
+  blocks : block array;
+  block_of : int array;    (* node index -> block id *)
+  node_of_sid : (int, int) Hashtbl.t;
+}
+
+let entry = 0
+let exit_ = 1
+
+let n_nodes t = Array.length t.nodes
+let node_of_sid t sid = Hashtbl.find_opt t.node_of_sid sid
+
+let stmt_of t i = match t.nodes.(i) with Stmt s -> Some s | Entry | Exit -> None
+
+(** Variables a statement writes.  [StoreIndex]/[StoreField] mutate the named
+    aggregate in place, so they are {e weak} defs: they define the variable
+    without killing its previous definitions (and they also read it). *)
+let def_of_stmt (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Decl (_, x, _) | Ast.Assign (x, _) -> Some (x, `Strong)
+  | Ast.StoreIndex (x, _, _) | Ast.StoreField (x, _, _) -> Some (x, `Weak)
+  | _ -> None
+
+(** Variables a statement reads when it executes.  Compound statements read
+    only their condition; their bodies are separate nodes. *)
+let uses_of_stmt (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Decl (_, _, e) | Ast.Assign (_, e) | Ast.Return e -> Ast.expr_vars e
+  | Ast.StoreIndex (x, i, e) -> x :: (Ast.expr_vars i @ Ast.expr_vars e)
+  | Ast.StoreField (x, _, e) -> x :: Ast.expr_vars e
+  | Ast.If (c, _, _) | Ast.While (c, _) | Ast.For (_, c, _, _) -> Ast.expr_vars c
+  | Ast.Break | Ast.Continue -> []
+
+let is_branch (s : Ast.stmt) =
+  match s.Ast.node with Ast.If _ | Ast.While _ | Ast.For _ -> true | _ -> false
+
+let build (meth : Ast.meth) : t =
+  let stmts = Ast.all_stmts meth in
+  let n = 2 + List.length stmts in
+  let nodes = Array.make n Entry in
+  nodes.(exit_) <- Exit;
+  let node_of_sid = Hashtbl.create (2 * n) in
+  List.iteri
+    (fun i s ->
+      nodes.(i + 2) <- Stmt s;
+      Hashtbl.replace node_of_sid s.Ast.sid (i + 2))
+    stmts;
+  let idx (s : Ast.stmt) = Hashtbl.find node_of_sid s.Ast.sid in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let cond_succs = Array.make n None in
+  let add_edge u v =
+    if not (List.mem v succs.(u)) then begin
+      succs.(u) <- succs.(u) @ [ v ];
+      preds.(v) <- preds.(v) @ [ u ]
+    end
+  in
+  (* Wire a block given the node every fall-through continues to ([succ]) and
+     the current loop's break/continue targets; returns the block's entry. *)
+  let rec wire_block block ~succ ~brk ~cont =
+    match block with
+    | [] -> succ
+    | s :: rest ->
+        let rest_entry = wire_block rest ~succ ~brk ~cont in
+        wire_stmt s ~succ:rest_entry ~brk ~cont
+  and wire_stmt (s : Ast.stmt) ~succ ~brk ~cont =
+    let me = idx s in
+    match s.Ast.node with
+    | Ast.Decl _ | Ast.Assign _ | Ast.StoreIndex _ | Ast.StoreField _ ->
+        add_edge me succ;
+        me
+    | Ast.Return _ ->
+        add_edge me exit_;
+        me
+    | Ast.Break ->
+        add_edge me (Option.value brk ~default:succ);
+        me
+    | Ast.Continue ->
+        add_edge me (Option.value cont ~default:succ);
+        me
+    | Ast.If (_, b1, b2) ->
+        let t = wire_block b1 ~succ ~brk ~cont in
+        let f = wire_block b2 ~succ ~brk ~cont in
+        add_edge me t;
+        add_edge me f;
+        cond_succs.(me) <- Some (t, f);
+        me
+    | Ast.While (_, body) ->
+        let body_entry = wire_block body ~succ:me ~brk:(Some succ) ~cont:(Some me) in
+        add_edge me body_entry;
+        add_edge me succ;
+        cond_succs.(me) <- Some (body_entry, succ);
+        me
+    | Ast.For (init, _, update, body) ->
+        let upd = idx update in
+        let body_entry = wire_block body ~succ:upd ~brk:(Some succ) ~cont:(Some upd) in
+        add_edge upd me;
+        add_edge me body_entry;
+        add_edge me succ;
+        cond_succs.(me) <- Some (body_entry, succ);
+        (* the For's entry is its init statement *)
+        wire_stmt init ~succ:me ~brk:None ~cont:None
+  in
+  let first = wire_block meth.Ast.body ~succ:exit_ ~brk:None ~cont:None in
+  add_edge entry first;
+  (* basic blocks: leaders are Entry, Exit, join points, branch targets and
+     orphans (statically unreachable starts) *)
+  let is_leader = Array.make n false in
+  is_leader.(entry) <- true;
+  is_leader.(exit_) <- true;
+  Array.iteri
+    (fun _u ss ->
+      match ss with
+      | [ v ] -> if List.length preds.(v) <> 1 then is_leader.(v) <- true
+      | ss -> List.iter (fun v -> is_leader.(v) <- true) ss)
+    succs;
+  Array.iteri (fun u ps -> if ps = [] && u <> entry then is_leader.(u) <- true) preds;
+  let block_of = Array.make n (-1) in
+  let rev_blocks = ref [] in
+  let bid = ref 0 in
+  for u = 0 to n - 1 do
+    if is_leader.(u) then begin
+      let rec chase acc cur =
+        match succs.(cur) with
+        | [ v ] when not is_leader.(v) -> chase (v :: acc) v
+        | _ -> List.rev acc
+      in
+      let ns = chase [ u ] u in
+      List.iter (fun v -> block_of.(v) <- !bid) ns;
+      rev_blocks := ns :: !rev_blocks;
+      incr bid
+    end
+  done;
+  let blocks =
+    List.rev !rev_blocks
+    |> List.mapi (fun bid ns ->
+           let leader = List.hd ns in
+           let last = List.nth ns (List.length ns - 1) in
+           {
+             bid;
+             nodes = ns;
+             bsuccs = List.sort_uniq compare (List.map (fun v -> block_of.(v)) succs.(last));
+             bpreds = List.sort_uniq compare (List.map (fun v -> block_of.(v)) preds.(leader));
+           })
+    |> Array.of_list
+  in
+  { meth; nodes; succs; preds; cond_succs; blocks; block_of; node_of_sid }
+
+(* ---------------- rendering ---------------- *)
+
+let node_label t i =
+  match t.nodes.(i) with
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Stmt s -> Printf.sprintf "#%d %s" s.Ast.sid (Pretty.stmt_head_to_string s)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  Array.iter
+    (fun b ->
+      let succs = String.concat " " (List.map (fun j -> Printf.sprintf "B%d" j) b.bsuccs) in
+      Fmt.pf ppf "B%d -> [%s]@," b.bid (if succs = "" then "-" else succs);
+      List.iter (fun i -> Fmt.pf ppf "    %s@," (node_label t i)) b.nodes)
+    t.blocks;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,185 @@
+(** Constant propagation and folding over the flat (Kildall) lattice.
+
+    Each scalar variable maps to [Const c] or [NonConst]; aggregates (arrays,
+    objects) are never tracked.  Folding is crash-preserving: an expression
+    is rewritten to a literal only when the abstract evaluator proves both
+    its value {e and} that evaluating it cannot crash ([2 / 0] stays, [&&]
+    only folds through its left operand), so folded methods are
+    observationally equivalent — the differential tests execute both. *)
+
+open Liger_lang
+
+type const = CInt of int | CBool of bool | CStr of string
+
+type value = Const of const | NonConst
+
+module VarMap = Map.Make (String)
+
+(** Absent variables are unreached (lattice bottom). *)
+type env = value VarMap.t
+
+module Fact = struct
+  type t = env
+
+  let bottom = VarMap.empty
+  let equal = VarMap.equal ( = )
+
+  let join a b =
+    VarMap.union (fun _ va vb -> Some (if va = vb then va else NonConst)) a b
+end
+
+module S = Dataflow.Solver (Fact)
+
+let rec eval (env : env) (e : Ast.expr) : value =
+  match e with
+  | Ast.Int n -> Const (CInt n)
+  | Ast.Bool b -> Const (CBool b)
+  | Ast.Str s -> Const (CStr s)
+  | Ast.Var x -> ( match VarMap.find_opt x env with Some v -> v | None -> NonConst)
+  | Ast.Unop (Ast.Neg, a) -> (
+      match eval env a with Const (CInt n) -> Const (CInt (-n)) | _ -> NonConst)
+  | Ast.Unop (Ast.Not, a) -> (
+      match eval env a with Const (CBool b) -> Const (CBool (not b)) | _ -> NonConst)
+  | Ast.Binop (Ast.And, a, b) -> (
+      (* short-circuit: a constant-false left makes the right irrelevant,
+         but a non-constant left may crash, so nothing else folds *)
+      match eval env a with
+      | Const (CBool false) -> Const (CBool false)
+      | Const (CBool true) -> eval env b
+      | _ -> NonConst)
+  | Ast.Binop (Ast.Or, a, b) -> (
+      match eval env a with
+      | Const (CBool true) -> Const (CBool true)
+      | Const (CBool false) -> eval env b
+      | _ -> NonConst)
+  | Ast.Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | Ast.Index _ | Ast.Field _ | Ast.Len _ | Ast.Call _ | Ast.NewArray _
+  | Ast.ArrayLit _ | Ast.RecordLit _ ->
+      NonConst
+
+and eval_binop op a b =
+  match (op, a, b) with
+  | Ast.Add, Const (CInt x), Const (CInt y) -> Const (CInt (x + y))
+  | Ast.Add, Const (CStr x), Const (CStr y) -> Const (CStr (x ^ y))
+  | Ast.Sub, Const (CInt x), Const (CInt y) -> Const (CInt (x - y))
+  | Ast.Mul, Const (CInt x), Const (CInt y) -> Const (CInt (x * y))
+  | Ast.Div, Const (CInt _), Const (CInt 0) -> NonConst (* preserves the crash *)
+  | Ast.Div, Const (CInt x), Const (CInt y) -> Const (CInt (x / y))
+  | Ast.Mod, Const (CInt _), Const (CInt 0) -> NonConst
+  | Ast.Mod, Const (CInt x), Const (CInt y) -> Const (CInt (x mod y))
+  | Ast.Lt, Const (CInt x), Const (CInt y) -> Const (CBool (x < y))
+  | Ast.Le, Const (CInt x), Const (CInt y) -> Const (CBool (x <= y))
+  | Ast.Gt, Const (CInt x), Const (CInt y) -> Const (CBool (x > y))
+  | Ast.Ge, Const (CInt x), Const (CInt y) -> Const (CBool (x >= y))
+  | Ast.Eq, Const x, Const y -> Const (CBool (x = y))
+  | Ast.Ne, Const x, Const y -> Const (CBool (x <> y))
+  | _ -> NonConst
+
+let transfer node env =
+  match node with
+  | Cfg.Stmt s -> (
+      match s.Ast.node with
+      | Ast.Decl (_, x, e) | Ast.Assign (x, e) -> VarMap.add x (eval env e) env
+      | _ -> env)
+  | Cfg.Entry | Cfg.Exit -> env
+
+type result = { cfg : Cfg.t; before : env array; after : env array }
+
+let analyze ?cfg (meth : Ast.meth) : result =
+  let cfg = match cfg with Some c -> c | None -> Cfg.build meth in
+  (* Every declared variable starts NonConst (not just the parameters): a
+     variable assigned on only some paths must stay NonConst after the join,
+     since reading it on the others crashes — folding it would erase the
+     crash. *)
+  let init =
+    List.fold_left
+      (fun m x -> VarMap.add x NonConst m)
+      VarMap.empty (Ast.declared_vars meth)
+  in
+  let r = S.solve cfg ~init ~transfer in
+  { cfg; before = r.S.before; after = r.S.after }
+
+(** The abstract value of a branch guard at its node. *)
+let guard_value r i =
+  match r.cfg.Cfg.nodes.(i) with
+  | Cfg.Stmt { Ast.node = Ast.If (c, _, _) | Ast.While (c, _) | Ast.For (_, c, _, _); _ }
+    -> (
+      match eval r.before.(i) c with Const (CBool b) -> Some b | _ -> None)
+  | _ -> None
+
+(** Conditions that take the same branch on every execution: [(sid, outcome)]
+    in program order. *)
+let constant_guards r =
+  let out = ref [] in
+  Array.iteri
+    (fun i node ->
+      match (node, guard_value r i) with
+      | Cfg.Stmt s, Some b -> out := (s.Ast.sid, b) :: !out
+      | _ -> ())
+    r.cfg.Cfg.nodes;
+  List.rev !out
+
+(* ---------------- folding ---------------- *)
+
+let expr_of_const = function
+  | CInt n -> Ast.Int n
+  | CBool b -> Ast.Bool b
+  | CStr s -> Ast.Str s
+
+let rec fold_expr env e =
+  match eval env e with
+  | Const c -> expr_of_const c
+  | NonConst -> (
+      match e with
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, fold_expr env a, fold_expr env b)
+      | Ast.Unop (op, a) -> Ast.Unop (op, fold_expr env a)
+      | Ast.Index (a, i) -> Ast.Index (fold_expr env a, fold_expr env i)
+      | Ast.Field (a, f) -> Ast.Field (fold_expr env a, f)
+      | Ast.Len a -> Ast.Len (fold_expr env a)
+      | Ast.Call (f, args) -> Ast.Call (f, List.map (fold_expr env) args)
+      | Ast.NewArray a -> Ast.NewArray (fold_expr env a)
+      | Ast.ArrayLit es -> Ast.ArrayLit (List.map (fold_expr env) es)
+      | Ast.RecordLit fs -> Ast.RecordLit (List.map (fun (n, e) -> (n, fold_expr env e)) fs)
+      | e -> e)
+
+(** Fold every statically-constant expression to its literal, keeping
+    statement ids and lines (the rewritten method stays trace-aligned). *)
+let fold_meth ?cfg (meth : Ast.meth) : Ast.meth =
+  let r = analyze ?cfg meth in
+  let env_at (s : Ast.stmt) =
+    match Cfg.node_of_sid r.cfg s.Ast.sid with
+    | Some i -> r.before.(i)
+    | None -> VarMap.empty
+  in
+  let rec fold_block block = List.map fold_stmt block
+  and fold_stmt (s : Ast.stmt) =
+    let env = env_at s in
+    let node =
+      match s.Ast.node with
+      | Ast.Decl (t, x, e) -> Ast.Decl (t, x, fold_expr env e)
+      | Ast.Assign (x, e) -> Ast.Assign (x, fold_expr env e)
+      | Ast.StoreIndex (x, i, e) -> Ast.StoreIndex (x, fold_expr env i, fold_expr env e)
+      | Ast.StoreField (x, f, e) -> Ast.StoreField (x, f, fold_expr env e)
+      | Ast.If (c, b1, b2) -> Ast.If (fold_expr env c, fold_block b1, fold_block b2)
+      | Ast.While (c, b) -> Ast.While (fold_expr env c, fold_block b)
+      | Ast.For (init, c, update, b) ->
+          Ast.For (fold_stmt init, fold_expr env c, fold_stmt update, fold_block b)
+      | Ast.Return e -> Ast.Return (fold_expr env e)
+      | (Ast.Break | Ast.Continue) as n -> n
+    in
+    { s with Ast.node }
+  in
+  { meth with Ast.body = fold_block meth.Ast.body }
+
+let pp_value ppf = function
+  | NonConst -> Fmt.string ppf "⊤"
+  | Const (CInt n) -> Fmt.pf ppf "%d" n
+  | Const (CBool b) -> Fmt.pf ppf "%b" b
+  | Const (CStr s) -> Fmt.pf ppf "%S" s
+
+let pp_env ppf env =
+  Fmt.pf ppf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (x, v) -> Fmt.str "%s=%a" x pp_value v)
+          (VarMap.bindings env)))

@@ -1,0 +1,72 @@
+(** A generic monotone-framework fixpoint solver.
+
+    Every concrete pass (reaching definitions, liveness, constant
+    propagation, ...) instantiates {!Solver} with a join-semilattice of facts
+    and a per-node transfer function; the solver runs a worklist to the least
+    fixpoint over a {!Cfg.t}, forward or backward.  Termination holds
+    whenever the lattice has finite height over the method's variables and
+    the transfer functions are monotone — true of all the passes here. *)
+
+type direction = Forward | Backward
+
+module type FACT = sig
+  type t
+
+  val bottom : t
+  (** Least element: the initial fact at every node. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Solver (F : FACT) = struct
+  (** [before.(i)] is the fact flowing into node [i] in analysis order (for a
+      backward pass that is the fact at the node's {e exit}); [after.(i)] is
+      the result of the node's transfer function. *)
+  type result = { before : F.t array; after : F.t array }
+
+  let solve ?(direction = Forward) (cfg : Cfg.t) ~(init : F.t)
+      ~(transfer : Cfg.node -> F.t -> F.t) : result =
+    let n = Cfg.n_nodes cfg in
+    let before = Array.make n F.bottom in
+    let after = Array.make n F.bottom in
+    let flow_preds, flow_succs, start =
+      match direction with
+      | Forward -> (cfg.Cfg.preds, cfg.Cfg.succs, Cfg.entry)
+      | Backward -> (cfg.Cfg.succs, cfg.Cfg.preds, Cfg.exit_)
+    in
+    let queued = Array.make n true in
+    let q = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i q
+    done;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      queued.(u) <- false;
+      let input =
+        List.fold_left
+          (fun acc p -> F.join acc after.(p))
+          (if u = start then init else F.bottom)
+          flow_preds.(u)
+      in
+      before.(u) <- input;
+      let out = transfer cfg.Cfg.nodes.(u) input in
+      if not (F.equal out after.(u)) then begin
+        after.(u) <- out;
+        List.iter
+          (fun v ->
+            if not queued.(v) then begin
+              Queue.add v q;
+              queued.(v) <- true
+            end)
+          flow_succs.(u)
+      end
+    done;
+    { before; after }
+end
+
+(** Plain string sets, the fact domain shared by liveness and slicing. *)
+module VarSet = Set.Make (String)
+
+let pp_varset ppf s =
+  Fmt.pf ppf "{%s}" (String.concat ", " (VarSet.elements s))

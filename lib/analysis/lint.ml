@@ -1,0 +1,95 @@
+(** The static lint gate: everything the dataset filter can reject without
+    running a single test.
+
+    Three verdict classes are gate-worthy (they make a method worthless or
+    dangerous as a corpus example) and map to Table-1 drop reasons in
+    {!Liger_testgen.Filter}:
+    - {e use-before-init}: a read may happen before any assignment —
+      typechecks, crashes at runtime on some path;
+    - {e unreachable code}: statements no execution can reach (beyond the
+      mutator's reachable dead stores, which are fine and deliberate);
+    - {e guaranteed non-termination}: a loop whose guard is constant-true
+      with no [break]/[return] inside — test generation would only ever
+      time out on it.
+
+    Dead stores are reported too but do not fail {!ok}: the corpus mutator
+    plants them on purpose as surface-form noise. *)
+
+open Liger_lang
+
+type verdict = {
+  uninit_uses : (string * int) list;  (* variable, sid of the reading stmt *)
+  unreachable_sids : int list;
+  nonterm_sids : int list;            (* loop-head sids *)
+  dead_store_sids : int list;         (* informational only *)
+}
+
+let ok v = v.uninit_uses = [] && v.unreachable_sids = [] && v.nonterm_sids = []
+
+(* A loop with a constant-true guard can only terminate through a [return]
+   anywhere in its body or a [break] belonging to it (not to a nested
+   loop) — crashes aside, which a lint rightly ignores. *)
+let rec block_has_return block =
+  List.exists
+    (fun (s : Ast.stmt) ->
+      match s.Ast.node with
+      | Ast.Return _ -> true
+      | Ast.If (_, b1, b2) -> block_has_return b1 || block_has_return b2
+      | Ast.While (_, b) -> block_has_return b
+      | Ast.For (_, _, _, b) -> block_has_return b
+      | _ -> false)
+    block
+
+let rec block_has_own_break block =
+  List.exists
+    (fun (s : Ast.stmt) ->
+      match s.Ast.node with
+      | Ast.Break -> true
+      | Ast.If (_, b1, b2) -> block_has_own_break b1 || block_has_own_break b2
+      | Ast.While _ | Ast.For _ -> false  (* nested loops own their breaks *)
+      | _ -> false)
+    block
+
+let loop_can_exit body = block_has_return body || block_has_own_break body
+
+let check (meth : Ast.meth) : verdict =
+  let cfg = Cfg.build meth in
+  let reach = Reaching.analyze ~cfg meth in
+  let live = Liveness.analyze ~cfg meth in
+  let consts = Constprop.analyze ~cfg meth in
+  let unreach = Unreachable.analyze ~cfg ~consts meth in
+  let nonterm_sids =
+    Array.to_list cfg.Cfg.nodes
+    |> List.mapi (fun i node -> (i, node))
+    |> List.filter_map (fun (i, node) ->
+           match node with
+           | Cfg.Stmt ({ Ast.node = Ast.While (_, body) | Ast.For (_, _, _, body); _ } as s)
+             when unreach.Unreachable.reachable.(i)
+                  && Constprop.guard_value consts i = Some true
+                  && not (loop_can_exit body) ->
+               Some s.Ast.sid
+           | _ -> None)
+  in
+  {
+    uninit_uses = Reaching.possibly_uninit reach;
+    unreachable_sids = unreach.Unreachable.unreachable_sids;
+    nonterm_sids;
+    dead_store_sids = Liveness.dead_stores live;
+  }
+
+let pp ppf v =
+  let ids l = String.concat ", " (List.map string_of_int l) in
+  if ok v && v.dead_store_sids = [] then Fmt.pf ppf "clean"
+  else begin
+    Fmt.pf ppf "@[<v>";
+    List.iter
+      (fun (x, sid) -> Fmt.pf ppf "use-before-init: %s at #%d@," x sid)
+      v.uninit_uses;
+    if v.unreachable_sids <> [] then
+      Fmt.pf ppf "unreachable code: #%s@," (ids v.unreachable_sids);
+    if v.nonterm_sids <> [] then
+      Fmt.pf ppf "non-terminating loop: #%s@," (ids v.nonterm_sids);
+    if v.dead_store_sids <> [] then
+      Fmt.pf ppf "dead store (not a gate): #%s@," (ids v.dead_store_sids);
+    Fmt.pf ppf "@]"
+  end

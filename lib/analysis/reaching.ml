@@ -1,0 +1,92 @@
+(** Reaching definitions.
+
+    A definition is a (variable, defining [sid]) pair; parameters are defined
+    at the pseudo-site {!param_def} and every declared local additionally
+    carries the pseudo-definition {!uninit_def} at method entry, so that a
+    use reached by it is a possible use-before-initialisation — MiniJava's
+    typechecker (like this repo's until now) does not do definite-assignment,
+    so [if (c) { int x = 1; } return x;] typechecks yet crashes at runtime on
+    the else path.  The def-use chains this pass induces also drive the
+    return-value slicer. *)
+
+open Liger_lang
+
+let param_def = -1
+let uninit_def = -2
+
+module DefSet = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+module Fact = struct
+  type t = DefSet.t
+
+  let bottom = DefSet.empty
+  let equal = DefSet.equal
+  let join = DefSet.union
+end
+
+module S = Dataflow.Solver (Fact)
+
+let transfer node fact =
+  match node with
+  | Cfg.Stmt s -> (
+      match Cfg.def_of_stmt s with
+      | Some (x, `Strong) ->
+          DefSet.add (x, s.Ast.sid) (DefSet.filter (fun (y, _) -> y <> x) fact)
+      | Some (x, `Weak) -> DefSet.add (x, s.Ast.sid) fact
+      | None -> fact)
+  | Cfg.Entry | Cfg.Exit -> fact
+
+(** Entry fact: every parameter is defined, every other declared variable is
+    (as yet) uninitialised. *)
+let init_fact (meth : Ast.meth) =
+  let params = List.map snd meth.Ast.params in
+  let locals =
+    List.filter (fun x -> not (List.mem x params)) (Ast.declared_vars meth)
+  in
+  DefSet.of_list
+    (List.map (fun x -> (x, param_def)) params
+    @ List.map (fun x -> (x, uninit_def)) locals)
+
+type result = { cfg : Cfg.t; before : DefSet.t array; after : DefSet.t array }
+
+let analyze ?cfg (meth : Ast.meth) : result =
+  let cfg = match cfg with Some c -> c | None -> Cfg.build meth in
+  let r = S.solve cfg ~init:(init_fact meth) ~transfer in
+  { cfg; before = r.S.before; after = r.S.after }
+
+(** Definitions of [x] reaching the entry of the statement with [sid]. *)
+let defs_reaching r ~sid x =
+  match Cfg.node_of_sid r.cfg sid with
+  | None -> []
+  | Some i ->
+      DefSet.elements (DefSet.filter (fun (y, _) -> y = x) r.before.(i))
+      |> List.map snd
+
+(** Uses reached by the uninitialised pseudo-definition: [(variable, sid of
+    the using statement)], in program order. *)
+let possibly_uninit r =
+  let out = ref [] in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Cfg.Stmt s ->
+          List.iter
+            (fun x ->
+              if DefSet.mem (x, uninit_def) r.before.(i) then
+                out := (x, s.Ast.sid) :: !out)
+            (List.sort_uniq compare (Cfg.uses_of_stmt s))
+      | Cfg.Entry | Cfg.Exit -> ())
+    r.cfg.Cfg.nodes;
+  List.rev !out
+
+let pp_fact ppf fact =
+  let show (x, d) =
+    if d = param_def then x ^ "@param"
+    else if d = uninit_def then x ^ "@uninit"
+    else Printf.sprintf "%s@%d" x d
+  in
+  Fmt.pf ppf "{%s}" (String.concat ", " (List.map show (DefSet.elements fact)))

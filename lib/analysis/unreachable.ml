@@ -1,0 +1,44 @@
+(** Unreachable-code detection.
+
+    Plain graph reachability from [Entry], refined by constant branch guards:
+    when constant propagation proves a condition always takes one branch,
+    the other outgoing edge is not traversed, so [if (false) { ... }] bodies
+    and everything after a [while (true)] loop without breaks count as
+    unreachable.  Note this is distinct from {e dead stores} (reachable
+    assignments nobody reads) — the mutator's planted dead code is reachable
+    by construction and is deliberately {e not} flagged here. *)
+
+open Liger_lang
+
+type result = {
+  cfg : Cfg.t;
+  reachable : bool array;    (* per node index *)
+  unreachable_sids : int list;  (* statements never executed, program order *)
+}
+
+let analyze ?cfg ?consts (meth : Ast.meth) : result =
+  let cfg = match cfg with Some c -> c | None -> Cfg.build meth in
+  let consts =
+    match consts with Some r -> r | None -> Constprop.analyze ~cfg meth
+  in
+  let n = Cfg.n_nodes cfg in
+  let reachable = Array.make n false in
+  let rec visit u =
+    if not reachable.(u) then begin
+      reachable.(u) <- true;
+      match (cfg.Cfg.cond_succs.(u), Constprop.guard_value consts u) with
+      | Some (t, _), Some true -> visit t
+      | Some (_, f), Some false -> visit f
+      | _ -> List.iter visit cfg.Cfg.succs.(u)
+    end
+  in
+  visit Cfg.entry;
+  let unreachable_sids =
+    Array.to_list cfg.Cfg.nodes
+    |> List.mapi (fun i node -> (i, node))
+    |> List.filter_map (fun (i, node) ->
+           match node with
+           | Cfg.Stmt s when not reachable.(i) -> Some s.Ast.sid
+           | _ -> None)
+  in
+  { cfg; reachable; unreachable_sids }

@@ -69,8 +69,9 @@ let memo_key_of (step : Blended.step) =
   (step.Blended.stmt.Ast.sid * 2)
   + (match step.Blended.branch with Some true -> 1 | _ -> 0)
 
-(** Intern one blended trace. *)
-let encode_trace cfg vocab (b : Blended.t) : enc_trace =
+(** Intern one blended trace.  [keep] filters state columns (the slicing
+    flag of [cfg.trace_cfg] decides what the caller passes). *)
+let encode_trace ?(keep = fun _ -> true) cfg vocab (b : Blended.t) : enc_trace =
   let b = Blended.truncate cfg.max_steps (Blended.limit_concrete cfg.max_concrete b) in
   let steps =
     List.map
@@ -86,7 +87,7 @@ let encode_trace cfg vocab (b : Blended.t) : enc_trace =
                 (List.map
                    (fun (_, toks) ->
                      Array.of_list (List.map (Vocab.id vocab) toks))
-                   (Encode.state_tokens cfg.trace_cfg env)))
+                   (Encode.state_tokens ~keep cfg.trace_cfg env)))
             step.Blended.states
         in
         { tree; memo_key = memo_key_of step; var_tokens })
@@ -109,14 +110,19 @@ let encode_example cfg vocab meth (blended : Blended.t list) label : enc_example
     | Name name -> List.map (fun t -> Vocab.id vocab t) (Subtoken.split name)
     | Class c -> [ c ]
   in
+  (* the slice keep-predicate prunes value columns and the name layout in
+     lockstep, so var_name_ids.(i) stays aligned with var_tokens.(_).(i) *)
+  let keep = Encode.slice_keep cfg.trace_cfg meth in
   let var_name_ids =
     Array.of_list
-      (List.map (fun x -> Vocab.id vocab ("var_" ^ x)) (Ast.declared_vars meth))
+      (List.filter_map
+         (fun x -> if keep x then Some (Vocab.id vocab ("var_" ^ x)) else None)
+         (Ast.declared_vars meth))
   in
   {
     uid = fresh_uid ();
     meth;
-    traces = Array.of_list (List.map (encode_trace cfg vocab) chosen);
+    traces = Array.of_list (List.map (encode_trace ~keep cfg vocab) chosen);
     label;
     target_ids;
     var_name_ids;

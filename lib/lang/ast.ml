@@ -154,29 +154,41 @@ let rec map_block ~fexpr ~fstmt block =
 
 let map_meth ~fexpr ~fstmt m = { m with body = map_block ~fexpr ~fstmt m.body }
 
-(** Variables referenced anywhere in an expression. *)
-let rec expr_vars e =
-  match e with
-  | Int _ | Bool _ | Str _ -> []
-  | Var x -> [ x ]
-  | Binop (_, a, b) -> expr_vars a @ expr_vars b
-  | Unop (_, a) -> expr_vars a
-  | Index (a, i) -> expr_vars a @ expr_vars i
-  | Field (a, _) -> expr_vars a
-  | Len a -> expr_vars a
-  | Call (_, args) -> List.concat_map expr_vars args
-  | NewArray a -> expr_vars a
-  | ArrayLit es -> List.concat_map expr_vars es
-  | RecordLit fs -> List.concat_map (fun (_, e) -> expr_vars e) fs
+(** Variables referenced anywhere in an expression, left to right, with
+    duplicates.  Accumulator-based: linear in expression size (this sits on
+    the dataflow-analysis hot path). *)
+let expr_vars e =
+  let rec go acc e =
+    match e with
+    | Int _ | Bool _ | Str _ -> acc
+    | Var x -> x :: acc
+    | Binop (_, a, b) -> go (go acc a) b
+    | Unop (_, a) -> go acc a
+    | Index (a, i) -> go (go acc a) i
+    | Field (a, _) -> go acc a
+    | Len a -> go acc a
+    | Call (_, args) -> List.fold_left go acc args
+    | NewArray a -> go acc a
+    | ArrayLit es -> List.fold_left go acc es
+    | RecordLit fs -> List.fold_left (fun acc (_, e) -> go acc e) acc fs
+  in
+  List.rev (go [] e)
 
 (** All variable names a method declares or binds (params first, declaration
-    order preserved) — the fixed state layout of Definition 2.1. *)
+    order preserved) — the fixed state layout of Definition 2.1.  Membership
+    goes through a [Hashtbl] so building the layout is linear in method
+    size. *)
 let declared_vars meth =
-  let acc = ref (List.rev_map snd meth.params) in
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      acc := x :: !acc
+    end
+  in
+  List.iter (fun (_, x) -> add x) meth.params;
   iter_stmts
-    (fun s ->
-      match s.node with
-      | Decl (_, x, _) -> if not (List.mem x !acc) then acc := x :: !acc
-      | _ -> ())
+    (fun s -> match s.node with Decl (_, x, _) -> add x | _ -> ())
     meth.body;
   List.rev !acc

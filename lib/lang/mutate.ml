@@ -189,7 +189,9 @@ let dead_names = [| "unused"; "scratch"; "pad"; "extra"; "spare" |]
 
 (** Insert 1-2 unused integer declarations at random top-level positions.
     Purely syntactic noise: it perturbs the static dimension (and adds a ⊥
-    column to states) without changing behaviour. *)
+    column to states) without changing behaviour.  Insertion never goes past
+    a top-level [return]/[break]/[continue]: a statement there would be
+    unreachable — different noise than intended, and statically rejectable. *)
 let insert_dead_code rng (m : Ast.meth) =
   let existing = Ast.declared_vars m in
   let n_insert = 1 + Rng.int rng 2 in
@@ -199,7 +201,17 @@ let insert_dead_code rng (m : Ast.meth) =
     let name = Printf.sprintf "%s%d" base k in
     if not (List.mem name existing) then begin
       let decl = Ast.mk (Ast.Decl (Ast.Tint, name, Ast.Int (Rng.int rng 10))) in
-      let pos = Rng.int rng (1 + List.length !body) in
+      let is_jump (s : Ast.stmt) =
+        match s.Ast.node with
+        | Ast.Return _ | Ast.Break | Ast.Continue -> true
+        | _ -> false
+      in
+      let rec live_prefix acc = function
+        | s :: _ when is_jump s -> acc
+        | _ :: rest -> live_prefix (acc + 1) rest
+        | [] -> acc
+      in
+      let pos = Rng.int rng (1 + live_prefix 0 !body) in
       let rec insert i = function
         | rest when i = pos -> decl :: rest
         | [] -> [ decl ]

@@ -6,18 +6,33 @@
     timeout, and (4) they are too small to be interesting.  This module
     reproduces that pipeline over MiniJava: the typechecker plays javac,
     {!Feedback} plays Randoop, and the corpus generator marks a fraction of
-    methods as depending on unavailable libraries. *)
+    methods as depending on unavailable libraries.
+
+    On top of the paper's four reasons, the dataflow lint gate
+    ({!Liger_analysis.Lint}) statically rejects methods that typecheck but
+    can never be useful corpus examples: possible use-before-initialisation
+    (crashes on some path), statically unreachable code, and constant-guard
+    loops that provably never terminate (test generation would only time
+    out on them — the static gate fires first, as the cheap checks do in
+    the paper's pipeline). *)
 
 open Liger_lang
+open Liger_analysis
 
 type reason =
   | No_compile        (* typechecker rejects *)
+  | Uninit_use        (* lint: a read may precede every assignment *)
+  | Unreachable_code  (* lint: statements no execution can reach *)
+  | Nonterm_loop      (* lint: constant-guard loop that cannot exit *)
   | External_deps     (* references packages unavailable to the generator *)
   | Testgen_timeout   (* Randoop-analogue produced no usable execution *)
   | Too_small         (* "a couple of lines" *)
 
 let reason_to_string = function
   | No_compile -> "does not compile"
+  | Uninit_use -> "use before init"
+  | Unreachable_code -> "unreachable code"
+  | Nonterm_loop -> "non-terminating loop"
   | External_deps -> "missing external packages"
   | Testgen_timeout -> "test generation timeout"
   | Too_small -> "too small"
@@ -39,9 +54,16 @@ let min_statements = 3
     pass (the cheap checks run first, as in the paper's pipeline). *)
 let classify ?budget rng (c : candidate) : verdict =
   if not (Typecheck.is_well_typed c.meth) then Dropped No_compile
-  else if c.uses_external then Dropped External_deps
-  else if Ast.stmt_count c.meth < min_statements then Dropped Too_small
   else
+    let lint = Lint.check c.meth in
+    (* nonterm before unreachable: an endless loop also makes its
+       continuation unreachable, and the loop is the sharper diagnosis *)
+    if lint.Lint.uninit_uses <> [] then Dropped Uninit_use
+    else if lint.Lint.nonterm_sids <> [] then Dropped Nonterm_loop
+    else if lint.Lint.unreachable_sids <> [] then Dropped Unreachable_code
+    else if c.uses_external then Dropped External_deps
+    else if Ast.stmt_count c.meth < min_statements then Dropped Too_small
+    else
     let r = Feedback.generate ?budget rng c.meth in
     if r.Feedback.gave_up then Dropped Testgen_timeout else Kept r
 
@@ -67,7 +89,8 @@ let run ?budget rng (candidates : candidate list) =
     List.filter_map
       (fun r ->
         match Hashtbl.find_opt tally r with Some n -> Some (r, n) | None -> None)
-      [ No_compile; External_deps; Testgen_timeout; Too_small ]
+      [ No_compile; Uninit_use; Nonterm_loop; Unreachable_code; External_deps;
+        Testgen_timeout; Too_small ]
   in
   ( List.rev !kept,
     { original = List.length candidates; filtered = List.length !kept; by_reason } )

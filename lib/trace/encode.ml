@@ -9,6 +9,7 @@
     bounded. *)
 
 open Liger_lang
+open Liger_analysis
 
 type tree = Leaf of string | Node of string * tree list
 
@@ -21,10 +22,19 @@ let rec tree_tokens = function
   | Node (label, children) -> label :: List.concat_map tree_tokens children
 
 (** Caps keeping model inputs bounded; [max_flat] limits the flattened
-    length of one value, [max_steps] the length of one blended trace. *)
-type config = { max_flat : int; max_steps : int }
+    length of one value, [max_steps] the length of one blended trace.
+    [slice] prunes state traces to the method's return-value slice
+    ({!Liger_analysis.Slice}): variables that provably never influence the
+    result (nor control flow) are dropped from every encoded state. *)
+type config = { max_flat : int; max_steps : int; slice : bool }
 
-let default_config = { max_flat = 12; max_steps = 48 }
+let default_config = { max_flat = 12; max_steps = 48; slice = false }
+
+(** The state-column filter [config.slice] selects for [meth]: the identity
+    when slicing is off, otherwise membership in the backward slice from the
+    method's returns. *)
+let slice_keep cfg (meth : Ast.meth) : string -> bool =
+  if cfg.slice then Slice.keep_filter meth else fun _ -> true
 
 (* ---------------- value tokens (D_d) ---------------- *)
 
@@ -82,9 +92,13 @@ let value_tokens cfg v =
   | Some prim -> take cfg.max_flat (prim_tokens prim)
 
 (** Encode one program state as the fixed-order list of variables, each a
-    (name token, value tokens) pair. *)
-let state_tokens cfg (env : (string * Value.t option) list) =
-  List.map (fun (x, v) -> ("var_" ^ x, value_tokens cfg v)) env
+    (name token, value tokens) pair.  [keep] selects the state columns to
+    encode (slice pruning passes the return-value-slice membership test;
+    default keeps everything). *)
+let state_tokens ?(keep = fun _ -> true) cfg (env : (string * Value.t option) list) =
+  List.filter_map
+    (fun (x, v) -> if keep x then Some ("var_" ^ x, value_tokens cfg v) else None)
+    env
 
 (* ---------------- statement trees (D_s) ---------------- *)
 

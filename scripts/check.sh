@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke-test the
+# `liger analyze` subcommand on the example programs (both the clean ones,
+# which must pass --strict, and the deliberately dirty lint demo, which
+# must be rejected).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== liger analyze (clean examples, strict)"
+for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do
+  dune exec --no-build bin/liger_cli.exe -- analyze "$f" --strict > /dev/null
+  echo "   ok: $f"
+done
+
+echo "== liger analyze (lint demo must fail strict)"
+if dune exec --no-build bin/liger_cli.exe -- analyze examples/minijava/lint_demo.mj --strict > /dev/null 2>&1; then
+  echo "   ERROR: lint_demo.mj unexpectedly passed --strict" >&2
+  exit 1
+fi
+echo "   ok: lint_demo.mj rejected"
+
+echo "All checks passed."

@@ -1,0 +1,738 @@
+(* Tests for the dataflow analysis layer: CFG construction, the generic
+   fixpoint solver exercised through its concrete passes (reaching
+   definitions, liveness, constant propagation/folding, unreachable code),
+   the lint gate and its Filter integration, and the return-value slicer
+   with its differential guarantee over the encoding pipeline. *)
+
+open Liger_lang
+open Liger_tensor
+open Liger_analysis
+open Liger_trace
+open Liger_testgen
+open Liger_core
+open Liger_dataset
+
+let parse = Parser.method_of_string
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* The paper's own programs (same transcription as test_lang.ml). *)
+let sort1_src =
+  {|
+method sortI(int[] A) : int[] {
+  int left = 0;
+  int right = A.length - 1;
+  for (int i = right; i > left; i--) {
+    for (int j = left; j < i; j++) {
+      if (A[j] > A[j + 1]) {
+        int tmp = A[j];
+        A[j] = A[j + 1];
+        A[j + 1] = tmp;
+      }
+    }
+  }
+  return A;
+}
+|}
+
+let sort3_src =
+  {|
+method sortIII(int[] A) : int[] {
+  int swapbit = 1;
+  while (swapbit != 0) {
+    swapbit = 0;
+    for (int i = 0; i < A.length - 1; i++) {
+      if (A[i + 1] < A[i]) {
+        int tmp = A[i];
+        A[i] = A[i + 1];
+        A[i + 1] = tmp;
+        swapbit = 1;
+      }
+    }
+  }
+  return A;
+}
+|}
+
+let rotation_src =
+  {|
+method isStringRotation(string A, string B) : bool {
+  if (A.length != B.length) {
+    return false;
+  }
+  for (int i = 1; i < A.length; i++) {
+    string tail = substring(A, i, A.length - i);
+    string wrap = substring(A, 0, i);
+    if (tail + wrap == B) {
+      return true;
+    }
+  }
+  return false;
+}
+|}
+
+(* An array scan with a bookkeeping variable (`calls`) that feeds neither the
+   return value nor any branch: exactly what the slicer should prune. *)
+let find_max_noise_src =
+  {|
+method findMaxNoise(int[] a) : int {
+  if (a.length == 0) {
+    return 0;
+  }
+  int best = a[0];
+  int calls = 0;
+  for (int i = 1; i < a.length; i++) {
+    calls = calls + 1;
+    if (a[i] > best) {
+      best = a[i];
+    }
+  }
+  return best;
+}
+|}
+
+let find_stmt_node cfg p =
+  let found = ref None in
+  Array.iteri
+    (fun i n ->
+      match n with
+      | Cfg.Stmt s when !found = None && p s -> found := Some i
+      | _ -> ())
+    cfg.Cfg.nodes;
+  match !found with Some i -> i | None -> Alcotest.fail "expected node not found"
+
+let last_stmt m =
+  match List.rev (Ast.all_stmts m) with
+  | s :: _ -> s
+  | [] -> Alcotest.fail "empty method"
+
+(* ------------------------------------------------------------------ *)
+(* CFG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_straight_line () =
+  let m = parse "method f(int x) : int { int y = x + 1; y = y * 2; return y; }" in
+  let cfg = Cfg.build m in
+  Alcotest.(check int) "entry + exit + 3 stmts" 5 (Cfg.n_nodes cfg);
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Cfg.Stmt _ ->
+          Alcotest.(check int) "single successor" 1 (List.length cfg.Cfg.succs.(i))
+      | _ -> ())
+    cfg.Cfg.nodes;
+  (* entry chains through all three statements in one block *)
+  let b0 = cfg.Cfg.blocks.(cfg.Cfg.block_of.(Cfg.entry)) in
+  Alcotest.(check int) "straight-line block" 4 (List.length b0.Cfg.nodes)
+
+let test_cfg_if_branches () =
+  let m =
+    parse "method f(int x) : int { if (x > 0) { return 1; } else { return 2; } }"
+  in
+  let cfg = Cfg.build m in
+  let i =
+    find_stmt_node cfg (fun s ->
+        match s.Ast.node with Ast.If _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "two successors" 2 (List.length cfg.Cfg.succs.(i));
+  match cfg.Cfg.cond_succs.(i) with
+  | Some (t, f) ->
+      Alcotest.(check bool) "distinct targets" true (t <> f);
+      List.iter
+        (fun b ->
+          Alcotest.(check (list int)) "branch returns to exit" [ Cfg.exit_ ]
+            cfg.Cfg.succs.(b))
+        [ t; f ]
+  | None -> Alcotest.fail "If should have cond_succs"
+
+let test_cfg_while_loop_edges () =
+  let m =
+    parse "method f(int n) : int { int i = 0; while (i < n) { i = i + 1; } return i; }"
+  in
+  let cfg = Cfg.build m in
+  let w =
+    find_stmt_node cfg (fun s ->
+        match s.Ast.node with Ast.While _ -> true | _ -> false)
+  in
+  (match cfg.Cfg.cond_succs.(w) with
+  | Some (t, f) ->
+      Alcotest.(check (list int)) "body loops back to head" [ w ] cfg.Cfg.succs.(t);
+      (match cfg.Cfg.nodes.(f) with
+      | Cfg.Stmt { Ast.node = Ast.Return _; _ } -> ()
+      | _ -> Alcotest.fail "false edge should reach the return")
+  | None -> Alcotest.fail "while has branch successors");
+  Alcotest.(check bool) "loop head is a join" true (List.length cfg.Cfg.preds.(w) >= 2)
+
+let test_cfg_for_desugar_edges () =
+  let m =
+    parse
+      "method f(int n) : int { int s = 0; for (int i = 0; i < n; i++) { s = s + i; } \
+       return s; }"
+  in
+  let cfg = Cfg.build m in
+  let fo =
+    find_stmt_node cfg (fun s ->
+        match s.Ast.node with Ast.For _ -> true | _ -> false)
+  in
+  (* init -> cond and update -> cond: the condition is a two-way join *)
+  Alcotest.(check int) "cond joins init and update" 2 (List.length cfg.Cfg.preds.(fo));
+  match cfg.Cfg.cond_succs.(fo) with
+  | Some (body, after) ->
+      (match cfg.Cfg.nodes.(body) with
+      | Cfg.Stmt { Ast.node = Ast.Assign ("s", _); _ } -> ()
+      | _ -> Alcotest.fail "true edge should enter the body");
+      (match cfg.Cfg.nodes.(after) with
+      | Cfg.Stmt { Ast.node = Ast.Return _; _ } -> ()
+      | _ -> Alcotest.fail "false edge should reach the return")
+  | None -> Alcotest.fail "for has branch successors"
+
+let test_cfg_break_continue_edges () =
+  let m =
+    parse
+      "method f(int n) : int { int s = 0; while (s < n) { if (s == 3) { break; } if (s == \
+       1) { s = s + 2; continue; } s = s + 1; } return s; }"
+  in
+  let cfg = Cfg.build m in
+  let brk = find_stmt_node cfg (fun s -> s.Ast.node = Ast.Break) in
+  let cont = find_stmt_node cfg (fun s -> s.Ast.node = Ast.Continue) in
+  let head =
+    find_stmt_node cfg (fun s ->
+        match s.Ast.node with Ast.While _ -> true | _ -> false)
+  in
+  let ret =
+    find_stmt_node cfg (fun s ->
+        match s.Ast.node with Ast.Return _ -> true | _ -> false)
+  in
+  Alcotest.(check (list int)) "break -> after loop" [ ret ] cfg.Cfg.succs.(brk);
+  Alcotest.(check (list int)) "continue -> loop head" [ head ] cfg.Cfg.succs.(cont)
+
+let test_cfg_blocks_partition_nodes () =
+  let m = parse sort3_src in
+  let cfg = Cfg.build m in
+  let seen = Hashtbl.create 32 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun i ->
+          Alcotest.(check bool) "node in exactly one block" false (Hashtbl.mem seen i);
+          Hashtbl.replace seen i ();
+          Alcotest.(check int) "block_of agrees" b.Cfg.bid cfg.Cfg.block_of.(i))
+        b.Cfg.nodes)
+    cfg.Cfg.blocks;
+  Alcotest.(check int) "all nodes covered" (Cfg.n_nodes cfg) (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Reaching definitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_reaching_kill_and_merge () =
+  let m = parse "method f(int n) : int { int x = 1; if (n > 0) { x = 2; } return x; }" in
+  let r = Reaching.analyze m in
+  let defs = Reaching.defs_reaching r ~sid:(last_stmt m).Ast.sid "x" in
+  (* the initial decl and the branch assignment both reach the return; the
+     uninit marker does not *)
+  Alcotest.(check int) "two defs merge" 2 (List.length defs);
+  Alcotest.(check bool) "no uninit marker" false (List.mem Reaching.uninit_def defs)
+
+let test_reaching_loop_carried () =
+  let m =
+    parse "method f(int n) : int { int i = 0; while (i < n) { i = i + 1; } return i; }"
+  in
+  let r = Reaching.analyze m in
+  let w =
+    find_stmt_node r.Reaching.cfg (fun s ->
+        match s.Ast.node with Ast.While _ -> true | _ -> false)
+  in
+  let sid =
+    match Cfg.stmt_of r.Reaching.cfg w with
+    | Some s -> s.Ast.sid
+    | None -> assert false
+  in
+  Alcotest.(check int) "decl and back-edge def reach the head" 2
+    (List.length (Reaching.defs_reaching r ~sid "i"))
+
+let test_reaching_uninit_detected () =
+  let m = parse "method f(int n) : int { if (n > 0) { int x = 1; } return x; }" in
+  match Reaching.possibly_uninit (Reaching.analyze m) with
+  | [ ("x", _) ] -> ()
+  | other -> Alcotest.failf "expected one uninit use of x, got %d" (List.length other)
+
+let test_reaching_paper_programs_clean () =
+  List.iter
+    (fun src ->
+      Alcotest.(check int) "no uninit uses" 0
+        (List.length (Reaching.possibly_uninit (Reaching.analyze (parse src)))))
+    [ sort1_src; sort3_src; rotation_src ]
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_liveness_params_live_at_entry () =
+  let m = parse "method f(int a, int b) : int { return a + b; }" in
+  let live = Liveness.analyze m in
+  Alcotest.(check (list string)) "both params live" [ "a"; "b" ]
+    (Dataflow.VarSet.elements live.Liveness.live_out.(Cfg.entry))
+
+let test_liveness_strong_kill () =
+  let m = parse "method f(int a) : int { int x = a; x = 3; return x; }" in
+  let live = Liveness.analyze m in
+  let first = List.hd m.Ast.body in
+  (match Cfg.node_of_sid live.Liveness.cfg first.Ast.sid with
+  | Some i ->
+      Alcotest.(check bool) "x dead after shadowed def" false
+        (Dataflow.VarSet.mem "x" live.Liveness.live_out.(i))
+  | None -> Alcotest.fail "node missing");
+  Alcotest.(check (list int)) "shadowed store flagged dead" [ first.Ast.sid ]
+    (Liveness.dead_stores live)
+
+let test_liveness_weak_defs_dont_kill () =
+  let m = parse "method f(int[] a) : int[] { a[0] = 1; a[1] = 2; return a; }" in
+  let live = Liveness.analyze m in
+  Alcotest.(check bool) "aggregate live at entry" true
+    (Dataflow.VarSet.mem "a" live.Liveness.live_out.(Cfg.entry));
+  Alcotest.(check (list int)) "stores are not dead" [] (Liveness.dead_stores live)
+
+(* ISSUE property (a): every statement Mutate.insert_dead_code plants is
+   flagged by the dead-store pass. *)
+let prop_planted_dead_code_flagged =
+  QCheck.Test.make ~name:"planted dead code is flagged" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let src = Rng.choose rng [| sort1_src; sort3_src; find_max_noise_src |] in
+      let m = parse src in
+      let m' = Mutate.insert_dead_code rng m in
+      let old_sids = List.map (fun (s : Ast.stmt) -> s.Ast.sid) (Ast.all_stmts m) in
+      let planted =
+        Ast.all_stmts m'
+        |> List.filter_map (fun (s : Ast.stmt) ->
+               if List.mem s.Ast.sid old_sids then None else Some s.Ast.sid)
+      in
+      let dead = Liveness.dead_stores (Liveness.analyze m') in
+      List.for_all (fun sid -> List.mem sid dead) planted)
+
+(* ------------------------------------------------------------------ *)
+(* Constant propagation / folding                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_constprop_folds_chain () =
+  let m = parse "method f(int n) : int { int x = 2; int y = x * 3; return y + n; }" in
+  let folded = Constprop.fold_meth m in
+  match List.map (fun (s : Ast.stmt) -> s.Ast.node) folded.Ast.body with
+  | [ Ast.Decl (_, "x", Ast.Int 2);
+      Ast.Decl (_, "y", Ast.Int 6);
+      Ast.Return (Ast.Binop (Ast.Add, Ast.Int 6, Ast.Var "n")) ] ->
+      ()
+  | _ -> Alcotest.failf "unexpected fold:\n%s" (Pretty.meth_to_string folded)
+
+let test_constprop_join_loses_constancy () =
+  let m =
+    parse
+      "method f(bool b) : int { int x = 1; if (b) { x = 2; } int y = x + 1; return y; }"
+  in
+  let folded = Constprop.fold_meth m in
+  let y_decl =
+    List.find_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.node with Ast.Decl (_, "y", e) -> Some e | _ -> None)
+      folded.Ast.body
+  in
+  match y_decl with
+  | Some (Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 1)) -> ()
+  | Some e -> Alcotest.failf "y folded unsoundly to %s" (Pretty.expr_to_string e)
+  | None -> Alcotest.fail "y decl missing"
+
+let test_constprop_partial_init_not_folded () =
+  (* x is assigned only under the branch; reading it on the other path
+     crashes at runtime, so `return x` must not become `return 5` *)
+  let m = parse "method f(bool b) : int { if (b) { int x = 5; } return x; }" in
+  let folded = Constprop.fold_meth m in
+  match (last_stmt folded).Ast.node with
+  | Ast.Return (Ast.Var "x") -> ()
+  | _ -> Alcotest.failf "return folded unsoundly:\n%s" (Pretty.meth_to_string folded)
+
+let test_constprop_preserves_crashes () =
+  let m = parse "method f() : int { int x = 0; return 10 / x; }" in
+  let folded = Constprop.fold_meth m in
+  (match Interp.run folded [] with
+  | Interp.Crashed _ -> ()
+  | _ -> Alcotest.fail "folded method must still crash");
+  (* && with a non-constant left operand must not fold its right operand away *)
+  let m2 = parse "method g(bool b) : bool { return b && (1 < 2); }" in
+  let f2 = Constprop.fold_meth m2 in
+  match (List.hd f2.Ast.body).Ast.node with
+  | Ast.Return (Ast.Binop (Ast.And, Ast.Var "b", Ast.Bool true)) -> ()
+  | n -> Alcotest.failf "unexpected fold of short-circuit: %s" (Ast.show_stmt_node n)
+
+let test_constprop_constant_guards () =
+  let m =
+    parse
+      "method f(int n) : int { int k = 3; if (k > 2) { return n; } while (true) { n = n + \
+       1; } return n; }"
+  in
+  let guards = Constprop.constant_guards (Constprop.analyze m) in
+  Alcotest.(check int) "both guards constant" 2 (List.length guards);
+  Alcotest.(check bool) "both true" true (List.for_all snd guards)
+
+let prop_folding_preserves_semantics =
+  QCheck.Test.make ~name:"constant folding preserves behaviour" ~count:30
+    QCheck.(pair small_int small_int)
+    (fun (seed, len) ->
+      let rng = Rng.create (seed + 1) in
+      (* push through the mutator first so folding sees varied shapes *)
+      let v = Mutate.variant rng (parse sort3_src) in
+      let folded = Constprop.fold_meth v in
+      let a = Array.init (abs len mod 7) (fun i -> ((i * 31) + seed) mod 19) in
+      let o1 = Interp.run v [ Value.VArr (Array.copy a) ] in
+      let o2 = Interp.run folded [ Value.VArr (Array.copy a) ] in
+      match (o1, o2) with
+      | Interp.Returned x, Interp.Returned y -> Value.equal x y
+      | Interp.Timeout, Interp.Timeout -> true
+      | Interp.Crashed _, Interp.Crashed _ -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Unreachable code                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_unreachable_after_return () =
+  let m = parse "method f(int n) : int { return n; int x = 1; return x; }" in
+  let r = Unreachable.analyze m in
+  Alcotest.(check int) "two dead statements" 2 (List.length r.Unreachable.unreachable_sids)
+
+let test_unreachable_constant_false_branch () =
+  let m =
+    parse
+      "method f(int n) : int { int debug = 0; if (debug == 1) { n = n + 100; } return n; }"
+  in
+  let r = Unreachable.analyze m in
+  Alcotest.(check int) "guarded body pruned" 1
+    (List.length r.Unreachable.unreachable_sids)
+
+let test_unreachable_clean_method () =
+  let r = Unreachable.analyze (parse sort1_src) in
+  Alcotest.(check (list int)) "everything reachable" [] r.Unreachable.unreachable_sids
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_clean_on_paper_programs () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) "clean" true (Lint.ok (Lint.check (parse src))))
+    [ sort1_src; sort3_src; rotation_src; find_max_noise_src ]
+
+let test_lint_clean_on_all_templates () =
+  (* the whole template library must pass the gate, or corpus generation
+     would silently change shape *)
+  List.iter
+    (fun (t : Templates.t) ->
+      List.iter
+        (fun (v : Templates.variant) ->
+          let m = parse v.Templates.source in
+          let verdict = Lint.check m in
+          if not (Lint.ok verdict) then
+            Alcotest.failf "template %s/%s flagged: %a" t.Templates.base_name
+              v.Templates.algo Lint.pp verdict)
+        t.Templates.variants)
+    Templates.all
+
+let test_lint_uninit () =
+  let m = parse "method f(int n) : int { if (n > 0) { int x = 1; } return x; }" in
+  let v = Lint.check m in
+  Alcotest.(check bool) "gate fails" false (Lint.ok v);
+  Alcotest.(check int) "one uninit use" 1 (List.length v.Lint.uninit_uses)
+
+let test_lint_nonterm () =
+  let m = parse "method f(int n) : int { while (true) { n = n + 1; } return n; }" in
+  let v = Lint.check m in
+  Alcotest.(check int) "loop flagged" 1 (List.length v.Lint.nonterm_sids);
+  Alcotest.(check int) "trailing return unreachable" 1
+    (List.length v.Lint.unreachable_sids)
+
+let test_lint_loop_with_break_ok () =
+  let m =
+    parse
+      "method f(int n) : int { while (true) { n = n + 1; if (n > 10) { break; } } return \
+       n; }"
+  in
+  let v = Lint.check m in
+  Alcotest.(check (list int)) "no nonterm" [] v.Lint.nonterm_sids;
+  Alcotest.(check bool) "gate passes" true (Lint.ok v)
+
+let test_lint_nested_break_insufficient () =
+  let m =
+    parse
+      "method f(int n) : int { while (true) { while (n < 5) { break; } n = n + 1; } \
+       return n; }"
+  in
+  let v = Lint.check m in
+  Alcotest.(check int) "outer loop still flagged" 1 (List.length v.Lint.nonterm_sids)
+
+let test_lint_dead_store_not_a_gate () =
+  let m = parse "method f(int n) : int { int unused0 = 3; return n; }" in
+  let v = Lint.check m in
+  Alcotest.(check bool) "ok despite dead store" true (Lint.ok v);
+  Alcotest.(check int) "dead store still reported" 1 (List.length v.Lint.dead_store_sids)
+
+(* ------------------------------------------------------------------ *)
+(* Filter integration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let candidate m = { Filter.meth = m; uses_external = false }
+
+let test_filter_new_drop_reasons () =
+  let rng = Rng.create 42 in
+  let uninit = parse "method f(int n) : int { if (n > 0) { int x = 1; } return x; }" in
+  let unreach = parse "method g(int n) : int { return n; int x = 1; return x; }" in
+  let nonterm = parse "method h(int n) : int { while (true) { n = n + 1; } return n; }" in
+  let clean = parse sort1_src in
+  let kept, stats =
+    Filter.run rng (List.map candidate [ uninit; unreach; nonterm; clean ])
+  in
+  Alcotest.(check int) "only the clean method survives" 1 (List.length kept);
+  let count r = Option.value ~default:0 (List.assoc_opt r stats.Filter.by_reason) in
+  Alcotest.(check int) "uninit counted" 1 (count Filter.Uninit_use);
+  Alcotest.(check int) "unreachable counted" 1 (count Filter.Unreachable_code);
+  Alcotest.(check int) "nonterm counted" 1 (count Filter.Nonterm_loop);
+  (* and the Table 1 printer renders the new reasons *)
+  let table =
+    {
+      Stats.dataset = "lint-gate";
+      rows =
+        [ { Stats.split_name = "Training"; original = stats.Filter.original;
+            filtered = stats.Filter.filtered } ];
+      reasons = stats.Filter.by_reason;
+    }
+  in
+  let rendered = Fmt.str "%a" Stats.pp table in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in table") true (contains_sub rendered needle))
+    [ "use before init"; "unreachable code"; "non-terminating loop" ]
+
+(* ------------------------------------------------------------------ *)
+(* Slicing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_slice_drops_irrelevant () =
+  let rel = Slice.relevant_vars (parse find_max_noise_src) in
+  List.iter
+    (fun x -> Alcotest.(check bool) (x ^ " relevant") true (Dataflow.VarSet.mem x rel))
+    [ "a"; "best"; "i" ];
+  Alcotest.(check bool) "calls pruned" false (Dataflow.VarSet.mem "calls" rel)
+
+let test_slice_keeps_transitive_deps () =
+  let m =
+    parse "method f(int n) : int { int a = n * 2; int b = a + 1; int c = 7; return b; }"
+  in
+  let rel = Slice.relevant_vars m in
+  List.iter
+    (fun x -> Alcotest.(check bool) (x ^ " kept") true (Dataflow.VarSet.mem x rel))
+    [ "a"; "b"; "n" ];
+  Alcotest.(check bool) "c pruned" false (Dataflow.VarSet.mem "c" rel)
+
+let test_slice_keeps_control_vars () =
+  let m =
+    parse
+      "method f(int n) : int { int flag = n - 1; int r = 0; if (flag > 0) { r = 1; } \
+       return r; }"
+  in
+  Alcotest.(check bool) "branch guard kept" true
+    (Dataflow.VarSet.mem "flag" (Slice.relevant_vars m))
+
+let enc_with ~slice =
+  { Common.default_enc_config with
+    trace_cfg = { Encode.default_config with slice } }
+
+let small_budget =
+  { Feedback.max_attempts = 80; target_paths = 4; per_path = 2; fuel = 4_000 }
+
+(* Encode one method twice against the same frozen vocabulary: once full,
+   once slice-pruned.  Returns None if test generation gave up. *)
+let encode_both rng m =
+  let r = Feedback.generate ~budget:small_budget rng m in
+  if r.Feedback.gave_up then None
+  else begin
+    let blended = Feedback.blended m r in
+    let label = Common.Name m.Ast.mname in
+    let vocab = Vocab.create () in
+    Common.register_example (enc_with ~slice:false) vocab blended label;
+    Vocab.freeze vocab;
+    let full = Common.encode_example (enc_with ~slice:false) vocab m blended label in
+    let sliced = Common.encode_example (enc_with ~slice:true) vocab m blended label in
+    Some (full, sliced)
+  end
+
+let test_slice_encoding_is_projection () =
+  let rng = Rng.create 7 in
+  let m = parse find_max_noise_src in
+  match encode_both rng m with
+  | None -> Alcotest.fail "testgen gave up on findMaxNoise"
+  | Some (full, sliced) ->
+      let keep = Encode.slice_keep (enc_with ~slice:true).Common.trace_cfg m in
+      let layout = Ast.declared_vars m in
+      let kept_positions =
+        List.mapi (fun i x -> (i, keep x)) layout
+        |> List.filter_map (fun (i, k) -> if k then Some i else None)
+      in
+      Alcotest.(check bool) "something was pruned" true
+        (List.length kept_positions < List.length layout);
+      Alcotest.(check int) "var_name_ids pruned in lockstep"
+        (List.length kept_positions)
+        (Array.length sliced.Common.var_name_ids);
+      Alcotest.(check int) "same trace count"
+        (Array.length full.Common.traces)
+        (Array.length sliced.Common.traces);
+      (* every sliced state is the column-projection of the full state *)
+      Array.iteri
+        (fun ti (tr : Common.enc_trace) ->
+          let str = sliced.Common.traces.(ti) in
+          Alcotest.(check int) "same step count" (Array.length tr.Common.steps)
+            (Array.length str.Common.steps);
+          Array.iteri
+            (fun si (step : Common.enc_step) ->
+              let sstep = str.Common.steps.(si) in
+              Array.iteri
+                (fun ci full_cols ->
+                  let expected =
+                    Array.of_list (List.map (fun p -> full_cols.(p)) kept_positions)
+                  in
+                  Alcotest.(check bool) "column projection" true
+                    (expected = sstep.Common.var_tokens.(ci)))
+                step.Common.var_tokens)
+            tr.Common.steps)
+        full.Common.traces
+
+(* ISSUE property (b): over 50 generated methods, encoding with and without
+   slice-pruned state traces never changes behaviour. *)
+let test_slice_differential_on_generated_corpus () =
+  let rng = Rng.create 2025 in
+  let items = Javagen.generate rng ~n:90 in
+  let clean =
+    List.filter_map
+      (fun (it : Javagen.item) ->
+        let m = it.Javagen.candidate.Filter.meth in
+        if Typecheck.is_well_typed m && Lint.ok (Lint.check m) then Some m else None)
+      items
+  in
+  Alcotest.(check bool) "at least 50 clean methods" true (List.length clean >= 50);
+  let taken = List.filteri (fun i _ -> i < 50) clean in
+  let random_args (m : Ast.meth) =
+    List.map
+      (fun ((t : Ast.typ), _) ->
+        match t with
+        | Ast.Tint -> Value.VInt (Rng.int_range rng (-8) 8)
+        | Ast.Tbool -> Value.VBool (Rng.bool rng)
+        | Ast.Tstring -> Value.VStr "abba"
+        | Ast.Tarray ->
+            Value.VArr (Array.init (Rng.int rng 6) (fun _ -> Rng.int_range rng (-9) 9))
+        | Ast.Tobj -> Value.VObj [| ("x", Value.VInt 1); ("y", Value.VInt 2) |])
+      m.Ast.params
+  in
+  List.iter
+    (fun (m : Ast.meth) ->
+      match encode_both (Rng.split rng) m with
+      | None -> ()  (* budget exhausted: nothing to compare for this method *)
+      | Some (full, sliced) ->
+          Alcotest.(check int) "same trace count"
+            (Array.length full.Common.traces)
+            (Array.length sliced.Common.traces);
+          Alcotest.(check bool) "slice never widens the layout" true
+            (Array.length sliced.Common.var_name_ids
+            <= Array.length full.Common.var_name_ids);
+          for _ = 1 to 3 do
+            let args = random_args m in
+            let o1 = Interp.run full.Common.meth (List.map Value.snapshot args) in
+            let o2 = Interp.run sliced.Common.meth (List.map Value.snapshot args) in
+            let same =
+              match (o1, o2) with
+              | Interp.Returned a, Interp.Returned b -> Value.equal a b
+              | Interp.Timeout, Interp.Timeout -> true
+              | Interp.Crashed _, Interp.Crashed _ -> true
+              | _ -> false
+            in
+            Alcotest.(check bool) "identical behaviour under slicing" true same
+          done)
+    taken
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_planted_dead_code_flagged; prop_folding_preserves_semantics ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "straight line" `Quick test_cfg_straight_line;
+          Alcotest.test_case "if branches" `Quick test_cfg_if_branches;
+          Alcotest.test_case "while edges" `Quick test_cfg_while_loop_edges;
+          Alcotest.test_case "for edges" `Quick test_cfg_for_desugar_edges;
+          Alcotest.test_case "break/continue" `Quick test_cfg_break_continue_edges;
+          Alcotest.test_case "blocks partition" `Quick test_cfg_blocks_partition_nodes;
+        ] );
+      ( "reaching",
+        [
+          Alcotest.test_case "kill and merge" `Quick test_reaching_kill_and_merge;
+          Alcotest.test_case "loop carried" `Quick test_reaching_loop_carried;
+          Alcotest.test_case "uninit detected" `Quick test_reaching_uninit_detected;
+          Alcotest.test_case "paper programs clean" `Quick
+            test_reaching_paper_programs_clean;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "params live at entry" `Quick
+            test_liveness_params_live_at_entry;
+          Alcotest.test_case "strong kill" `Quick test_liveness_strong_kill;
+          Alcotest.test_case "weak defs don't kill" `Quick
+            test_liveness_weak_defs_dont_kill;
+        ] );
+      ( "constprop",
+        [
+          Alcotest.test_case "folds chains" `Quick test_constprop_folds_chain;
+          Alcotest.test_case "join loses constancy" `Quick
+            test_constprop_join_loses_constancy;
+          Alcotest.test_case "partial init not folded" `Quick
+            test_constprop_partial_init_not_folded;
+          Alcotest.test_case "crash preserving" `Quick test_constprop_preserves_crashes;
+          Alcotest.test_case "constant guards" `Quick test_constprop_constant_guards;
+        ] );
+      ( "unreachable",
+        [
+          Alcotest.test_case "after return" `Quick test_unreachable_after_return;
+          Alcotest.test_case "constant false branch" `Quick
+            test_unreachable_constant_false_branch;
+          Alcotest.test_case "clean method" `Quick test_unreachable_clean_method;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "paper programs clean" `Quick
+            test_lint_clean_on_paper_programs;
+          Alcotest.test_case "all templates clean" `Quick test_lint_clean_on_all_templates;
+          Alcotest.test_case "uninit" `Quick test_lint_uninit;
+          Alcotest.test_case "nonterm" `Quick test_lint_nonterm;
+          Alcotest.test_case "break saves loop" `Quick test_lint_loop_with_break_ok;
+          Alcotest.test_case "nested break insufficient" `Quick
+            test_lint_nested_break_insufficient;
+          Alcotest.test_case "dead store not a gate" `Quick
+            test_lint_dead_store_not_a_gate;
+        ] );
+      ( "filter",
+        [ Alcotest.test_case "new drop reasons" `Quick test_filter_new_drop_reasons ] );
+      ( "slice",
+        [
+          Alcotest.test_case "drops irrelevant" `Quick test_slice_drops_irrelevant;
+          Alcotest.test_case "transitive deps" `Quick test_slice_keeps_transitive_deps;
+          Alcotest.test_case "control vars" `Quick test_slice_keeps_control_vars;
+          Alcotest.test_case "encoding is a projection" `Quick
+            test_slice_encoding_is_projection;
+          Alcotest.test_case "differential on generated corpus" `Slow
+            test_slice_differential_on_generated_corpus;
+        ] );
+      ("qcheck", qcheck_cases);
+    ]

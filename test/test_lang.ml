@@ -355,6 +355,80 @@ let test_typecheck_string_concat_ok () =
   | Ok () -> ()
   | Error _ -> Alcotest.fail "string concat should typecheck"
 
+(* Every error branch of the typechecker, pinned by message so each test
+   exercises the branch it claims to (a generic rejection would hide a
+   misfire in an earlier check). *)
+let expect_reject_msg src fragment =
+  match Typecheck.check (parse src) with
+  | Ok () -> Alcotest.failf "expected type error (%s) in: %s" fragment src
+  | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      if not (contains e.Typecheck.msg fragment) then
+        Alcotest.failf "expected error mentioning %S, got %S" fragment e.Typecheck.msg
+
+let test_typecheck_expr_error_branches () =
+  expect_reject_msg "method f() : int { return y; }" "unbound variable";
+  expect_reject_msg "method f(bool b) : int { return -b; }" "negation of non-int";
+  expect_reject_msg "method f(int x) : bool { return !x; }" "negation of non-bool";
+  expect_reject_msg "method f(string s) : int { return s - s; }" "arithmetic on non-ints";
+  expect_reject_msg "method f(int x) : string { return x + \"a\"; }" "arithmetic on non-ints";
+  expect_reject_msg "method f(bool b) : bool { return b < b; }" "comparison of non-ints";
+  expect_reject_msg "method f(int x, bool b) : bool { return x == b; }"
+    "equality on mismatched types";
+  expect_reject_msg "method f(int x) : bool { return x && true; }" "logical op on non-bools";
+  expect_reject_msg "method f(int x) : int { return x[0]; }" "indexing a non-array";
+  expect_reject_msg "method f(int[] a, bool b) : int { return a[b]; }" "non-int index";
+  expect_reject_msg "method f(int x) : int { return x.f; }" "non-object";
+  expect_reject_msg "method f(int x) : int { return x.length; }" "no length";
+  expect_reject_msg "method f() : int { return mystery(1); }" "unknown function";
+  expect_reject_msg "method f() : int { return min(1); }" "expects 2 arguments";
+  expect_reject_msg "method f(bool b) : int { return abs(b); }"
+    "argument type mismatch";
+  expect_reject_msg "method f(bool b) : int[] { return new int[b]; }" "non-int array size";
+  expect_reject_msg "method f(bool b) : int[] { return [1, b]; }" "non-int array element";
+  (* record literals typecheck their field expressions *)
+  expect_reject_msg "method f() : obj { return { a: z }; }" "unbound variable"
+
+let test_typecheck_stmt_error_branches () =
+  expect_reject_msg "method f(bool b) : int { int x = b; return x; }"
+    "initializer type mismatch";
+  expect_reject_msg "method f() : int { y = 3; return 0; }" "assignment to undeclared";
+  expect_reject_msg "method f(int x, bool b) : int { x = b; return x; }"
+    "assignment type mismatch";
+  expect_reject_msg "method f(int[] a, bool b) : int { a[b] = 1; return 0; }"
+    "non-int index";
+  expect_reject_msg "method f(int[] a, bool b) : int { a[0] = b; return 0; }"
+    "non-int array element";
+  expect_reject_msg "method f(int x) : int { x[0] = 1; return 0; }" "not an array";
+  expect_reject_msg "method f() : int { a[0] = 1; return 0; }" "unbound variable";
+  expect_reject_msg "method f(int x) : int { x.f = 1; return 0; }" "not an object";
+  expect_reject_msg "method f() : int { o.f = 1; return 0; }" "unbound variable";
+  expect_reject_msg "method f(obj o) : int { o.f = z; return 0; }" "unbound variable";
+  expect_reject_msg "method f(int x) : int { if (x) { return 1; } return 0; }"
+    "non-bool condition";
+  expect_reject_msg "method f(int x) : int { while (x) { x = x - 1; } return x; }"
+    "non-bool condition";
+  expect_reject_msg
+    "method f(int n) : int { for (int i = 0; i + n; i++) { n = n - 1; } return n; }"
+    "non-bool condition";
+  (* errors inside a For's init and update statements propagate *)
+  expect_reject_msg
+    "method f(int n) : int { for (int i = true; n > 0; i++) { n = n - 1; } return n; }"
+    "initializer type mismatch";
+  expect_reject_msg
+    "method f(int n, bool b) : int { for (int i = 0; i < n; i = b) { n = n - 1; } \
+     return n; }"
+    "assignment type mismatch";
+  expect_reject_msg "method f() : int { return true; }" "return type mismatch";
+  (* errors in nested blocks propagate out of If branches *)
+  expect_reject_msg
+    "method f(int n) : int { if (n > 0) { return n; } else { return true; } }"
+    "return type mismatch"
+
 (* ------------------------------------------------------------------ *)
 (* Subtokens                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -538,6 +612,10 @@ let () =
           Alcotest.test_case "accepts paper programs" `Quick test_typecheck_accepts_paper_programs;
           Alcotest.test_case "rejections" `Quick test_typecheck_rejections;
           Alcotest.test_case "string concat" `Quick test_typecheck_string_concat_ok;
+          Alcotest.test_case "expr error branches" `Quick
+            test_typecheck_expr_error_branches;
+          Alcotest.test_case "stmt error branches" `Quick
+            test_typecheck_stmt_error_branches;
         ] );
       ( "subtoken",
         [
