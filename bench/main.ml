@@ -8,6 +8,13 @@
      LIGER_SCALE=full dune exec bench/main.exe
      dune exec bench/main.exe -- --no-micro   # skip Bechamel microbenches
      dune exec bench/main.exe -- --micro-only # only the microbenches
+     dune exec bench/main.exe -- --jobs 4     # parallel corpus-generation
+                                              # benchmark (1 vs 4 domains),
+                                              # writes BENCH_parallel.json
+
+   --jobs N alone runs only the parallel benchmark; combine it with the
+   other flags to also run those sections on an N-sized pool.  Unknown or
+   contradictory flags are an error.
 
    The printed artefacts mirror the paper:
      Table 1  - dataset statistics before/after filtering
@@ -178,9 +185,148 @@ let run_experiments () =
   Report.print_attention (Experiments.attention_report ctx);
   say "\ntotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel corpus-generation benchmark (--jobs N)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The corpus pipeline is the trace-volume bottleneck (ISSUE 2 /
+   data-reliance studies): interpret every method under many inputs,
+   symbolically execute, filter, encode.  This benchmark builds the same
+   corpus sequentially and on an N-domain pool, checks the determinism
+   contract on the way, and records throughput for the perf trajectory. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let strip_uids (c : Liger_dataset.Pipeline.corpus) =
+  let strip = List.map (fun ex -> { ex with Common.uid = 0 }) in
+  (strip c.Liger_dataset.Pipeline.train,
+   strip c.Liger_dataset.Pipeline.valid,
+   strip c.Liger_dataset.Pipeline.test,
+   Liger_trace.Vocab.to_list c.Liger_dataset.Pipeline.vocab)
+
+let run_parallel_bench ~jobs =
+  let open Liger_parallel in
+  say "\nParallel corpus generation: 1 domain vs %d domains\n" jobs;
+  say "%s\n%!" (String.make 72 '-');
+  let n_methods = match Sys.getenv_opt "LIGER_SCALE" with Some "full" -> 300 | _ -> 120 in
+  let enc =
+    { Common.default_enc_config with Common.max_paths = 4; max_concrete = 3; max_steps = 16 }
+  in
+  let build j =
+    Parallel.set_jobs j;
+    Parallel.Stats.reset ();
+    (* reset the id counters so the two builds are comparable byte-for-byte
+       (ids only need to be unique within a method / model lifetime) *)
+    Liger_lang.Ast.reset_sids ();
+    Common.reset_uids ();
+    let t0 = Unix.gettimeofday () in
+    let corpus =
+      Liger_dataset.Pipeline.build_naming ~enc_config:enc (Rng.create 4242)
+        ~name:"parbench" ~n:n_methods
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (corpus, dt, Parallel.Stats.snapshot ())
+  in
+  let seq_corpus, seq_dt, _ = build 1 in
+  let par_corpus, par_dt, stats = build jobs in
+  let deterministic = strip_uids seq_corpus = strip_uids par_corpus in
+  let speedup = seq_dt /. par_dt in
+  say "  methods generated            %12d\n" n_methods;
+  say "  sequential (1 domain)        %12.2f s\n" seq_dt;
+  say "  parallel  (%2d domains)       %12.2f s\n" jobs par_dt;
+  say "  speedup                      %12.2fx\n" speedup;
+  say "  deterministic (1 vs %d)      %12s\n" jobs (if deterministic then "yes" else "NO");
+  say "  pool tasks                   %12d in %d batches\n" stats.Parallel.Stats.tasks
+    stats.Parallel.Stats.batches;
+  Array.iteri
+    (fun i busy ->
+      say "  domain %d busy                %12.2f s%s\n" i busy
+        (if i = 0 then "  (caller)" else ""))
+    stats.Parallel.Stats.busy_seconds;
+  say "%s\n%!" (String.make 72 '-');
+  if not deterministic then
+    prerr_endline "WARNING: parallel corpus differs from sequential corpus";
+  let oc = open_out "BENCH_parallel.json" in
+  let busy =
+    stats.Parallel.Stats.busy_seconds |> Array.to_list
+    |> List.map (Printf.sprintf "%.6f")
+    |> String.concat ", "
+  in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "%s",
+  "methods": %d,
+  "jobs": %d,
+  "seq_seconds": %.6f,
+  "par_seconds": %.6f,
+  "speedup": %.4f,
+  "seq_methods_per_second": %.4f,
+  "par_methods_per_second": %.4f,
+  "deterministic": %b,
+  "pool_tasks": %d,
+  "pool_batches": %d,
+  "pool_wall_seconds": %.6f,
+  "per_domain_busy_seconds": [%s]
+}
+|}
+    (json_escape "corpus-generation (build_naming: testgen + filter + trace + encode)")
+    n_methods jobs seq_dt par_dt speedup
+    (float_of_int n_methods /. seq_dt)
+    (float_of_int n_methods /. par_dt)
+    deterministic stats.Parallel.Stats.tasks stats.Parallel.Stats.batches
+    stats.Parallel.Stats.wall_seconds busy;
+  close_out oc;
+  say "wrote BENCH_parallel.json\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing: unknown or contradictory flags are an error        *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline "usage: bench/main.exe [--no-micro | --micro-only] [--jobs N]";
+  prerr_endline "  --no-micro    run the experiments without the Bechamel microbenches";
+  prerr_endline "  --micro-only  run only the Bechamel microbenches";
+  prerr_endline "  --jobs N      run the parallel corpus-generation benchmark on N domains";
+  prerr_endline "                (alone: only that benchmark; with other flags: those too)";
+  exit 2
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let no_micro = List.mem "--no-micro" args in
-  let micro_only = List.mem "--micro-only" args in
-  if not micro_only then run_experiments ();
-  if not no_micro then run_micro ()
+  let rec parse (no_micro, micro_only, jobs) = function
+    | [] -> (no_micro, micro_only, jobs)
+    | "--no-micro" :: rest -> parse (true, micro_only, jobs) rest
+    | "--micro-only" :: rest -> parse (no_micro, true, jobs) rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> parse (no_micro, micro_only, Some n) rest
+        | _ ->
+            Printf.eprintf "error: --jobs expects a positive integer, got %S\n" n;
+            usage ())
+    | "--jobs" :: [] ->
+        prerr_endline "error: --jobs expects an argument";
+        usage ()
+    | arg :: _ ->
+        Printf.eprintf "error: unknown argument %S\n" arg;
+        usage ()
+  in
+  let no_micro, micro_only, jobs =
+    parse (false, false, None) (List.tl (Array.to_list Sys.argv))
+  in
+  if no_micro && micro_only then begin
+    prerr_endline "error: --no-micro and --micro-only together would run nothing";
+    usage ()
+  end;
+  (match jobs with Some n -> Liger_parallel.Parallel.set_jobs n | None -> ());
+  (* --jobs alone means: only the parallel benchmark *)
+  let only_parbench = jobs <> None && (not no_micro) && not micro_only in
+  if (not micro_only) && not only_parbench then run_experiments ();
+  if (not no_micro) && not only_parbench then run_micro ();
+  match jobs with Some n -> run_parallel_bench ~jobs:n | None -> ()

@@ -29,6 +29,7 @@ type t = {
   classifier : Linear.t option;
   path_seed : int;
   cache : (int, enc_path list) Hashtbl.t;
+  cache_lock : Mutex.t;  (* predictions run in parallel; see Train.predictions *)
 }
 
 let create ?(dim = 16) ?(seed = 17) ?(path_seed = 2017) vocab (task : Liger_model.task) =
@@ -42,7 +43,8 @@ let create ?(dim = 16) ?(seed = 17) ?(path_seed = 2017) vocab (task : Liger_mode
         (Some (Decoder.create store "dec" embedding ~dim_hidden:dim ~dim_mem:dim), None)
     | Liger_model.Classify n -> (None, Some (Linear.create store "cls" ~dim_in:dim ~dim_out:n))
   in
-  { task; store; vocab; embedding; path_rnn; combine; decoder; classifier; path_seed; cache = Hashtbl.create 256 }
+  { task; store; vocab; embedding; path_rnn; combine; decoder; classifier; path_seed;
+    cache = Hashtbl.create 256; cache_lock = Mutex.create () }
 
 let store t = t.store
 let num_params t = Param.num_params t.store
@@ -65,7 +67,7 @@ let register ?(path_seed = 2017) vocab (meth : Ast.meth) =
     contexts
 
 let paths_of t (ex : Common.enc_example) =
-  match Hashtbl.find_opt t.cache ex.Common.uid with
+  match Mutex.protect t.cache_lock (fun () -> Hashtbl.find_opt t.cache ex.Common.uid) with
   | Some ps -> ps
   | None ->
       let meth = ex.Common.meth in
@@ -79,7 +81,10 @@ let paths_of t (ex : Common.enc_example) =
                  right = List.map (Vocab.id t.vocab) (terminal_subtokens c.Ast_paths.right);
                })
       in
-      Hashtbl.add t.cache ex.Common.uid ps;
+      (* a concurrent extraction of the same example computed the same value *)
+      Mutex.protect t.cache_lock (fun () ->
+          if not (Hashtbl.mem t.cache ex.Common.uid) then
+            Hashtbl.add t.cache ex.Common.uid ps);
       ps
 
 (* code2seq owns its vocabulary (built over the raw sources, not traces), so

@@ -26,6 +26,7 @@ type t = {
   n_classes : int option;     (* Some n when used as a classifier instead *)
   path_seed : int;
   cache : (int, enc_context list) Hashtbl.t;
+  cache_lock : Mutex.t;  (* predictions run in parallel; see Train.predictions *)
 }
 
 (** [create vocab ~labels task]: for naming, [labels] must contain every
@@ -50,6 +51,7 @@ let create ?(dim = 16) ?(seed = 13) ?(path_seed = 1013) vocab ~labels
     n_classes;
     path_seed;
     cache = Hashtbl.create 256;
+    cache_lock = Mutex.create ();
   }
 
 let store t = t.store
@@ -70,7 +72,7 @@ let register ?(path_seed = 1013) vocab ~labels (meth : Liger_lang.Ast.meth) =
   ignore (Vocab.id labels meth.Liger_lang.Ast.mname)
 
 let contexts_of t (ex : Common.enc_example) =
-  match Hashtbl.find_opt t.cache ex.Common.uid with
+  match Mutex.protect t.cache_lock (fun () -> Hashtbl.find_opt t.cache ex.Common.uid) with
   | Some cs -> cs
   | None ->
       let meth = ex.Common.meth in
@@ -84,7 +86,10 @@ let contexts_of t (ex : Common.enc_example) =
                  right = Vocab.id t.vocab c.Ast_paths.right;
                })
       in
-      Hashtbl.add t.cache ex.Common.uid cs;
+      (* a concurrent extraction of the same example computed the same value *)
+      Mutex.protect t.cache_lock (fun () ->
+          if not (Hashtbl.mem t.cache ex.Common.uid) then
+            Hashtbl.add t.cache ex.Common.uid cs);
       cs
 
 let code_vector t tape (ex : Common.enc_example) =

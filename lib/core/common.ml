@@ -59,11 +59,18 @@ type enc_config = {
 let default_enc_config =
   { max_paths = 6; max_concrete = 4; max_steps = 24; trace_cfg = Encode.default_config }
 
-let uid_counter = ref 0
+(* Atomic: examples are encoded in parallel.  Pipelines that need
+   jobs-independent uids reassign them sequentially after the parallel
+   encode (see [Pipeline.assemble]). *)
+let uid_counter = Atomic.make 0
 
-let fresh_uid () =
-  incr uid_counter;
-  !uid_counter
+let fresh_uid () = Atomic.fetch_and_add uid_counter 1 + 1
+
+(** Reset the uid counter.  Only for tests and benchmarks that rebuild a
+    corpus from the same seed and compare byte-for-byte; uids are
+    memoization keys scoped to a model's lifetime, so never reset while any
+    model trained on previously encoded examples is still in use. *)
+let reset_uids () = Atomic.set uid_counter 0
 
 let memo_key_of (step : Blended.step) =
   (step.Blended.stmt.Ast.sid * 2)

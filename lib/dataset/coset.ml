@@ -102,15 +102,45 @@ let generate_item ?(p_buggy = 0.06) rng =
 
 (** Generate [n] {e clean} programs: candidates failing the differential
     test are discarded and regenerated, and the discard count is returned
-    (the paper's 85K -> 63.5K reduction). *)
+    (the paper's 85K -> 63.5K reduction).
+
+    Candidates are drawn sequentially (AST construction allocates statement
+    ids from a shared counter), then differentially tested in parallel —
+    each test with its own generator split in candidate order, so batches
+    and verdicts are identical at any job count.  Candidates past the [n]th
+    keeper in the final batch are discarded without counting, mirroring the
+    one-at-a-time loop that would never have generated them. *)
 let generate rng ~n =
   let kept = ref [] in
+  let n_kept = ref 0 in
   let dropped = ref 0 in
-  while List.length !kept < n do
-    let reference, item = generate_item rng in
-    if Typecheck.is_well_typed item.meth && passes_tests rng ~reference item.meth then
-      kept := item :: !kept
-    else incr dropped
+  while !n_kept < n do
+    let batch_size = min 64 (max 8 (n - !n_kept)) in
+    let batch =
+      (* explicit loop: the draws must consume [rng] in candidate order *)
+      let acc = ref [] in
+      for _ = 1 to batch_size do
+        let reference, item = generate_item rng in
+        acc := (reference, item, Rng.split rng) :: !acc
+      done;
+      List.rev !acc
+    in
+    let verdicts =
+      Liger_parallel.Parallel.map_list
+        (fun (reference, item, trng) ->
+          ( item,
+            Typecheck.is_well_typed item.meth && passes_tests trng ~reference item.meth ))
+        batch
+    in
+    List.iter
+      (fun (item, ok) ->
+        if !n_kept < n then
+          if ok then begin
+            kept := item :: !kept;
+            incr n_kept
+          end
+          else incr dropped)
+      verdicts
   done;
   (List.rev !kept, !dropped)
 

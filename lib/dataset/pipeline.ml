@@ -9,6 +9,7 @@ open Liger_lang
 open Liger_trace
 open Liger_testgen
 open Liger_core
+open Liger_parallel
 
 type corpus = {
   name : string;
@@ -31,7 +32,12 @@ let budget_for (cfg : Common.enc_config) =
     fuel = 8_000;
   }
 
-(* Shared tail: blended traces in hand, build vocab from train, encode all. *)
+(* Shared tail: blended traces in hand, build vocab from train, encode all.
+
+   Vocabulary building is order-sensitive (interning assigns ids), so it
+   stays sequential; encoding against the then-frozen vocabulary is pure
+   and runs on the parallel pool.  Uids are reassigned sequentially in
+   example order afterwards so the corpus is identical at any job count. *)
 let assemble ~name ~enc_config ~stats splits =
   let vocab = Vocab.create () in
   let train_raw, valid_raw, test_raw = splits in
@@ -40,9 +46,10 @@ let assemble ~name ~enc_config ~stats splits =
     train_raw;
   Vocab.freeze vocab;
   let encode_all raw =
-    List.map
+    Parallel.map_list
       (fun (meth, blended, label) -> Common.encode_example enc_config vocab meth blended label)
       raw
+    |> List.map (fun ex -> { ex with Common.uid = Common.fresh_uid () })
   in
   {
     name;
@@ -63,7 +70,7 @@ let build_naming ?(enc_config = Common.default_enc_config) ?profile rng ~name ~n
       Filter.run ~budget rng (List.map (fun (it : Javagen.item) -> it.Javagen.candidate) items)
     in
     let raw =
-      List.map
+      Parallel.map_list
         (fun (meth, r) ->
           (meth, Feedback.blended meth r, Common.Name meth.Ast.mname))
         kept
@@ -90,9 +97,11 @@ let build_coset ?(enc_config = Common.default_enc_config) rng ~n =
   let train_items, valid_items, test_items = Coset.split rng items in
   let budget = budget_for enc_config in
   let collect split_name items =
+    (* one generator per item, split in item order: deterministic at any
+       job count *)
     let raw =
-      List.filter_map
-        (fun (it : Coset.item) ->
+      Parallel.filter_map_rng rng
+        (fun rng (it : Coset.item) ->
           let r = Feedback.generate ~budget rng it.Coset.meth in
           if r.Feedback.gave_up then None
           else

@@ -160,25 +160,26 @@ let view_stats view examples =
       let n = float_of_int (List.length examples) in
       (float_of_int !execs /. n, float_of_int !paths /. n)
 
-(** Train+evaluate one (corpus, model, view) point, cached.  Views are
-    normalized against the encoding caps so a sweep's "full" endpoint hits
-    the same cache entry as the tables' full-view run. *)
-let run ctx ~corpus ~kind ~view =
-  let view =
-    {
-      Common.n_paths = min view.Common.n_paths ctx.scale.enc.Common.max_paths;
-      n_concrete = min view.Common.n_concrete ctx.scale.enc.Common.max_concrete;
-    }
-  in
-  let key =
-    Printf.sprintf "%s/%s/p%d/c%d" (dataset_name corpus) (kind_name kind)
-      view.Common.n_paths view.Common.n_concrete
-  in
-  match Hashtbl.find_opt ctx.cache key with
-  | Some r -> r
-  | None ->
-      ctx.progress (Printf.sprintf "training %s" key);
-      let c = corpus_of ctx corpus in
+(* Views are normalized against the encoding caps so a sweep's "full"
+   endpoint hits the same cache entry as the tables' full-view run. *)
+let normalize_view ctx view =
+  {
+    Common.n_paths = min view.Common.n_paths ctx.scale.enc.Common.max_paths;
+    n_concrete = min view.Common.n_concrete ctx.scale.enc.Common.max_concrete;
+  }
+
+let key_of ~corpus ~kind ~view =
+  Printf.sprintf "%s/%s/p%d/c%d" (dataset_name corpus) (kind_name kind)
+    view.Common.n_paths view.Common.n_concrete
+
+(** Train+evaluate one (corpus, model, view) point, uncached; [view] must be
+    normalized and the corpus forced.  Everything this touches is private to
+    the call (model, optimizer state, its own generator seeded from the
+    key), so independent points run in parallel — see {!sweep}. *)
+let compute ctx ~corpus ~kind ~view =
+  let key = key_of ~corpus ~kind ~view in
+  ctx.progress (Printf.sprintf "training %s" key);
+  let c = corpus_of ctx corpus in
       let task = task_of ctx corpus in
       let rng = Rng.create (Hashtbl.hash key) in
       let options =
@@ -229,18 +230,26 @@ let run ctx ~corpus ~kind ~view =
         | _ -> Float.nan
       in
       let avg_executions, avg_paths = view_stats view c.Pipeline.test in
-      let r =
-        {
-          model = kind_name kind;
-          dataset = dataset_name corpus;
-          view;
-          naming;
-          classify;
-          static_attention;
-          avg_executions;
-          avg_paths;
-        }
-      in
+      {
+        model = kind_name kind;
+        dataset = dataset_name corpus;
+        view;
+        naming;
+        classify;
+        static_attention;
+        avg_executions;
+        avg_paths;
+      }
+
+(** Cached {!compute}: the tables and figures share full-view points through
+    this.  The cache is only touched from the submitting domain. *)
+let run ctx ~corpus ~kind ~view =
+  let view = normalize_view ctx view in
+  let key = key_of ~corpus ~kind ~view in
+  match Hashtbl.find_opt ctx.cache key with
+  | Some r -> r
+  | None ->
+      let r = compute ctx ~corpus ~kind ~view in
       Hashtbl.replace ctx.cache key r;
       r
 
@@ -283,7 +292,28 @@ let score_of r =
   | _, Some c -> 100.0 *. c.Train.acc
   | _ -> Float.nan
 
+(* A sweep's points are independent training runs, so the ones not already
+   cached train in parallel on the {!Liger_parallel.Parallel} pool.  The
+   corpus is forced and the cache is read and written only on the
+   submitting domain (workers see an immutable corpus and write nothing
+   shared); each point seeds its own generator from its key inside
+   {!compute}, so results are identical at any job count. *)
 let sweep ctx ~corpus ~kind ~views =
+  let views = List.map (fun (x, view) -> (x, normalize_view ctx view)) views in
+  ignore (corpus_of ctx corpus);
+  let missing =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (_, view) ->
+           if Hashtbl.mem ctx.cache (key_of ~corpus ~kind ~view) then None else Some view)
+         views)
+  in
+  let results =
+    Liger_parallel.Parallel.map_list (fun view -> compute ctx ~corpus ~kind ~view) missing
+  in
+  List.iter2
+    (fun view r -> Hashtbl.replace ctx.cache (key_of ~corpus ~kind ~view) r)
+    missing results;
   List.map (fun (x, view) -> (x, run ctx ~corpus ~kind ~view)) views
 
 let concrete_sweep ctx ~corpus ~kind =

@@ -41,9 +41,11 @@ let restore store snap =
       Array.blit data 0 p.Param.value.Tensor.data 0 (Array.length data))
     snap
 
-(** Prediction/gold pairs over a split. *)
+(** Prediction/gold pairs over a split.  Predictions are independent
+    forward passes (each builds and discards its own tape), so they run on
+    the {!Liger_parallel.Parallel} pool, in input order. *)
 let predictions model examples =
-  List.map
+  Liger_parallel.Parallel.map_list
     (fun (ex : Common.enc_example) ->
       let gold =
         match ex.Common.label with
@@ -74,6 +76,7 @@ type history = {
   train_losses : float list;  (* mean loss per epoch *)
   valid_scores : float list;
   best_epoch : int;
+  skipped_steps : int;  (* updates skipped because gradients were non-finite *)
 }
 
 (** Train [model] on [train], selecting the epoch with the best score on
@@ -85,6 +88,7 @@ let fit ?(options = default_options) rng model ~train ~valid =
   let best_snap = ref (snapshot model.store) in
   let best_epoch = ref 0 in
   let losses = ref [] and scores = ref [] in
+  let skipped = ref 0 in
   for epoch = 1 to options.epochs do
     Rng.shuffle rng examples;
     let total = ref 0.0 in
@@ -94,8 +98,17 @@ let fit ?(options = default_options) rng model ~train ~valid =
         let loss = model.train_loss tape ex in
         total := !total +. Autodiff.scalar_value loss;
         Autodiff.backward tape loss;
-        ignore (Optimizer.clip_grads model.store ~max_norm:options.clip);
-        Optimizer.step opt model.store)
+        let norm = Optimizer.clip_grads model.store ~max_norm:options.clip in
+        if Float.is_finite norm then Optimizer.step opt model.store
+        else begin
+          (* clip_grads zeroed the poisoned gradients; skip the update so a
+             single NaN cannot reach Adam's moment estimates *)
+          incr skipped;
+          if options.log then
+            Logs.warn (fun m ->
+                m "[%s] epoch %d: non-finite gradient norm, step skipped"
+                  model.name epoch)
+        end)
       examples;
     let mean_loss =
       if Array.length examples = 0 then 0.0
@@ -108,7 +121,10 @@ let fit ?(options = default_options) rng model ~train ~valid =
       if options.log then
         Logs.info (fun m ->
             m "[%s] epoch %d: loss %.4f valid %.4f" model.name epoch mean_loss v);
-      if v > !best then begin
+      (* >= not >: [best] starts at the untrained model's score, so on a
+         validation plateau a strict comparison would keep the untrained
+         snapshot and discard every trained epoch *)
+      if v >= !best then begin
         best := v;
         best_snap := snapshot model.store;
         best_epoch := epoch
@@ -116,7 +132,12 @@ let fit ?(options = default_options) rng model ~train ~valid =
     end
   done;
   restore model.store !best_snap;
-  { train_losses = List.rev !losses; valid_scores = List.rev !scores; best_epoch = !best_epoch }
+  {
+    train_losses = List.rev !losses;
+    valid_scores = List.rev !scores;
+    best_epoch = !best_epoch;
+    skipped_steps = !skipped;
+  }
 
 (* ---------------- evaluation summaries ---------------- *)
 

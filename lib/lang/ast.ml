@@ -73,11 +73,17 @@ type meth = {
 (* so fresh statement ids are always drawn from a shared counter.   *)
 (* --------------------------------------------------------------- *)
 
-let sid_counter = ref 0
+(* Atomic so a misplaced parallel construction cannot silently mint
+   duplicate sids; deterministic pipelines still construct ASTs
+   sequentially (sid values are part of the corpus determinism contract). *)
+let sid_counter = Atomic.make 0
 
-let fresh_sid () =
-  incr sid_counter;
-  !sid_counter
+let fresh_sid () = Atomic.fetch_and_add sid_counter 1 + 1
+
+(** Reset the sid counter.  Only for tests and benchmarks that rebuild a
+    corpus from the same seed and compare byte-for-byte; sids only need to
+    be unique within a method, so a reset cannot corrupt existing ASTs. *)
+let reset_sids () = Atomic.set sid_counter 0
 
 let mk ?(line = 0) node = { sid = fresh_sid (); line; node }
 

@@ -1,0 +1,316 @@
+(** A fixed-size domain pool with deterministic parallel maps.
+
+    The trace pipeline — interpret a method under many inputs, symbolically
+    execute it, filter, encode — is embarrassingly parallel per method, and
+    evaluation is embarrassingly parallel per example.  This module gives
+    those call sites one primitive, {!map} (plus order-preserving
+    {!filter_map} and the RNG-splitting variants), backed by a pool of
+    [jobs - 1] worker domains that is created on first use and reused across
+    calls.
+
+    {b Determinism contract.}  [jobs = 1] and [jobs = N] produce identical
+    results, by construction:
+
+    - results are written into a slot per input index, so output order never
+      depends on completion order;
+    - randomized tasks get their generator through {!map_rng} /
+      {!filter_map_rng}, which derive one generator per task with
+      {!Rng.split} {e in task order, before} anything runs in parallel;
+    - callers keep every other side effect (vocabulary interning, id
+      assignment, tallying) out of the parallel section.
+
+    The pool size comes from the [LIGER_JOBS] environment variable when set,
+    else [Domain.recommended_domain_count ()]; {!set_jobs} overrides both
+    (tests and the bench harness use it).  A nested call from inside a
+    worker runs sequentially in that worker — tasks may therefore freely
+    call code that itself uses this module. *)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  (* Slot 0 is the submitting (caller) domain; slots 1..size are workers. *)
+  type snapshot = {
+    tasks : int;           (* tasks executed since the last reset *)
+    batches : int;         (* map/filter_map calls *)
+    wall_seconds : float;  (* total wall time spent inside map calls *)
+    busy_seconds : float array;  (* per-domain time spent running tasks *)
+  }
+
+  let mutex = Mutex.create ()
+  let tasks = ref 0
+  let batches = ref 0
+  let wall = ref 0.0
+  let busy : (int, float) Hashtbl.t = Hashtbl.create 8
+
+  let add_busy slot dt =
+    Mutex.lock mutex;
+    Hashtbl.replace busy slot (dt +. Option.value ~default:0.0 (Hashtbl.find_opt busy slot));
+    Mutex.unlock mutex
+
+  let record ~n ~wall_dt =
+    Mutex.lock mutex;
+    tasks := !tasks + n;
+    incr batches;
+    wall := !wall +. wall_dt;
+    Mutex.unlock mutex
+
+  let reset () =
+    Mutex.lock mutex;
+    tasks := 0;
+    batches := 0;
+    wall := 0.0;
+    Hashtbl.reset busy;
+    Mutex.unlock mutex
+
+  let snapshot () =
+    Mutex.lock mutex;
+    let slots = Hashtbl.fold (fun k _ acc -> max acc (k + 1)) busy 0 in
+    let arr = Array.make slots 0.0 in
+    Hashtbl.iter (fun k v -> arr.(k) <- v) busy;
+    let s = { tasks = !tasks; batches = !batches; wall_seconds = !wall; busy_seconds = arr } in
+    Mutex.unlock mutex;
+    s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker domains run closures from a shared queue; a closure is one
+   participant's share of a batch (it drains the batch's index counter), so
+   the queue stays short — at most [jobs - 1] entries per map call. *)
+type pool = {
+  mutable workers : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable stop : bool;
+}
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let env_jobs () =
+  match Sys.getenv_opt "LIGER_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> invalid_arg ("LIGER_JOBS must be a positive integer, got " ^ s))
+
+(* Global state: configured size + the (lazily created) pool. *)
+let global_mutex = Mutex.create ()
+let configured_jobs : int option ref = ref None  (* None: not yet resolved *)
+let the_pool : pool option ref = ref None
+
+let worker_loop pool slot =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.stop do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stop *)
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      let t0 = Unix.gettimeofday () in
+      (try task () with _ -> () (* batch shares record their own errors *));
+      Stats.add_busy slot (Unix.gettimeofday () -. t0);
+      loop ()
+    end
+  in
+  loop ()
+
+let shutdown_locked () =
+  match !the_pool with
+  | None -> ()
+  | Some pool ->
+      Mutex.lock pool.mutex;
+      pool.stop <- true;
+      Condition.broadcast pool.work_available;
+      Mutex.unlock pool.mutex;
+      Array.iter Domain.join pool.workers;
+      the_pool := None
+
+let () = at_exit (fun () ->
+    Mutex.lock global_mutex;
+    shutdown_locked ();
+    Mutex.unlock global_mutex)
+
+(** Number of parallel lanes (caller + workers) the next map will use. *)
+let jobs () =
+  Mutex.lock global_mutex;
+  let n =
+    match !configured_jobs with
+    | Some n -> n
+    | None ->
+        let n = env_jobs () in
+        configured_jobs := Some n;
+        n
+  in
+  Mutex.unlock global_mutex;
+  n
+
+(** Override the pool size (shutting down any existing pool).  Intended for
+    tests and the bench harness; normal runs size the pool once from
+    [LIGER_JOBS]. *)
+let set_jobs n =
+  if n < 1 then invalid_arg "Parallel.set_jobs: jobs must be >= 1";
+  Mutex.lock global_mutex;
+  if !configured_jobs <> Some n then begin
+    shutdown_locked ();
+    configured_jobs := Some n
+  end;
+  Mutex.unlock global_mutex
+
+(* The pool holds [jobs - 1] workers; the calling domain is the remaining
+   lane.  Created on first parallel call, reused afterwards. *)
+let get_pool () =
+  let n = jobs () in
+  Mutex.lock global_mutex;
+  let pool =
+    match !the_pool with
+    | Some p -> p
+    | None ->
+        let pool =
+          {
+            workers = [||];
+            queue = Queue.create ();
+            mutex = Mutex.create ();
+            work_available = Condition.create ();
+            stop = false;
+          }
+        in
+        pool.workers <-
+          Array.init (n - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+        the_pool := Some pool;
+        pool
+  in
+  Mutex.unlock global_mutex;
+  pool
+
+(* ------------------------------------------------------------------ *)
+(* Batches                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type batch = {
+  n : int;
+  run_one : int -> unit;
+  next : int Atomic.t;       (* self-scheduling index; dynamic load balance *)
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+  mutable completed : int;
+}
+
+(* Drain the batch's index counter until empty; returns tasks run. *)
+let drain batch =
+  let local = ref 0 in
+  let rec loop () =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i < batch.n then begin
+      batch.run_one i;
+      incr local;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.lock batch.done_mutex;
+  batch.completed <- batch.completed + !local;
+  if batch.completed >= batch.n then Condition.broadcast batch.done_cond;
+  Mutex.unlock batch.done_mutex;
+  !local
+
+let sequential_map f arr =
+  let t0 = Unix.gettimeofday () in
+  let r = Array.map f arr in
+  let dt = Unix.gettimeofday () -. t0 in
+  Stats.record ~n:(Array.length arr) ~wall_dt:dt;
+  Stats.add_busy 0 dt;
+  r
+
+(** [map f arr] applies [f] to every element, on up to [jobs] domains, and
+    returns the results in input order.  The first exception raised by a
+    task is re-raised in the caller (all started tasks still complete).
+    Nested calls from inside a task run sequentially. *)
+let map (f : 'a -> 'b) (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  let j = jobs () in
+  if n = 0 then [||]
+  else if j <= 1 || n = 1 || in_worker () then sequential_map f arr
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let results : 'b option array = Array.make n None in
+    let error : (exn * Printexc.raw_backtrace) option Atomic.t = Atomic.make None in
+    let run_one i =
+      match f arr.(i) with
+      | r -> results.(i) <- Some r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
+    let batch =
+      {
+        n;
+        run_one;
+        next = Atomic.make 0;
+        done_mutex = Mutex.create ();
+        done_cond = Condition.create ();
+        completed = 0;
+      }
+    in
+    let pool = get_pool () in
+    let shares = min (Array.length pool.workers) (n - 1) in
+    Mutex.lock pool.mutex;
+    for _ = 1 to shares do
+      Queue.push (fun () -> ignore (drain batch)) pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex;
+    (* the caller is a participant too *)
+    let caller_t0 = Unix.gettimeofday () in
+    ignore (drain batch);
+    Stats.add_busy 0 (Unix.gettimeofday () -. caller_t0);
+    Mutex.lock batch.done_mutex;
+    while batch.completed < batch.n do
+      Condition.wait batch.done_cond batch.done_mutex
+    done;
+    Mutex.unlock batch.done_mutex;
+    Stats.record ~n ~wall_dt:(Unix.gettimeofday () -. t0);
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+(** {!map} over a list. *)
+let map_list f l = Array.to_list (map f (Array.of_list l))
+
+(** Order-preserving parallel filter_map over a list. *)
+let filter_map f l = List.filter_map Fun.id (map_list f l)
+
+(* Split one generator per task, in task order — the determinism-critical
+   step, done sequentially before anything runs. *)
+let split_rngs rng n =
+  let rngs = Array.make n rng in
+  for i = 0 to n - 1 do
+    rngs.(i) <- Liger_tensor.Rng.split rng
+  done;
+  rngs
+
+(** [map_rng rng f arr]: like {!map}, but each task receives its own
+    generator derived from [rng] by {!Rng.split} in task order, so the
+    result is independent of the number of domains. *)
+let map_rng rng (f : Liger_tensor.Rng.t -> 'a -> 'b) (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  let rngs = split_rngs rng n in
+  map (fun i -> f rngs.(i) arr.(i)) (Array.init n Fun.id)
+
+let map_rng_list rng f l =
+  Array.to_list (map_rng rng f (Array.of_list l))
+
+(** Order-preserving [filter_map] with per-task generators. *)
+let filter_map_rng rng f l =
+  List.filter_map Fun.id (map_rng_list rng f l)

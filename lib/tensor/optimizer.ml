@@ -24,12 +24,25 @@ let adam ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8)
   Adam { lr; beta1; beta2; eps; weight_decay; step = 0; state = Hashtbl.create 64 }
 
 (** Clip gradients to a global L2 norm of [max_norm]; returns the pre-clip
-    norm. Stabilizes recurrent training on long traces. *)
+    norm. Stabilizes recurrent training on long traces.
+
+    A non-finite norm (any NaN/inf gradient) cannot be rescaled — [norm >
+    max_norm] is false for NaN, so the poisoned gradients would pass
+    through untouched and corrupt Adam's moment estimates permanently.
+    Instead the gradients are zeroed and the non-finite norm returned;
+    callers must skip the optimizer step when [Float.is_finite] fails on
+    the result (as {!Liger_eval.Train.fit} does, counting the skip). *)
 let clip_grads store ~max_norm =
   let norm = Param.grad_norm store in
-  if norm > max_norm && norm > 0.0 then
-    Param.scale_grads store (max_norm /. norm);
-  norm
+  if not (Float.is_finite norm) then begin
+    Param.zero_grads store;
+    norm
+  end
+  else begin
+    if norm > max_norm && norm > 0.0 then
+      Param.scale_grads store (max_norm /. norm);
+    norm
+  end
 
 let adam_state state (p : Param.t) =
   match Hashtbl.find_opt state p.Param.name with

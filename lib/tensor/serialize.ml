@@ -4,25 +4,39 @@
     line of space-separated values.  Human-inspectable and stable across
     OCaml versions, unlike [Marshal]. *)
 
+(* Checkpoints are written to a temporary file in the same directory and
+   renamed into place, so a crash mid-write can never leave a truncated
+   half-valid file where a previous good checkpoint stood. *)
 let save_store (store : Param.store) path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Param.iter store (fun p ->
-          Printf.fprintf oc "%s %d %d\n" p.Param.name (Param.rows p) (Param.cols p);
-          let data = p.Param.value.Tensor.data in
-          Array.iteri
-            (fun i x ->
-              if i > 0 then output_char oc ' ';
-              Printf.fprintf oc "%.17g" x)
-            data;
-          output_char oc '\n'))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         Param.iter store (fun p ->
+             Printf.fprintf oc "%s %d %d\n" p.Param.name (Param.rows p) (Param.cols p);
+             let data = p.Param.value.Tensor.data in
+             Array.iteri
+               (fun i x ->
+                 if i > 0 then output_char oc ' ';
+                 Printf.fprintf oc "%.17g" x)
+               data;
+             output_char oc '\n'))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (** Load values into an existing store; every parameter in the file must
-    already exist with matching shape (create the model first, then load). *)
+    already exist with matching shape, and every parameter of the store
+    must be present in the file (create the model first, then load).  A
+    truncated or otherwise partial checkpoint therefore fails loudly
+    instead of silently leaving the missing parameters at their random
+    initialization. *)
 let load_store (store : Param.store) path =
   let ic = open_in path in
+  let loaded = Hashtbl.create 64 in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
@@ -43,7 +57,13 @@ let load_store (store : Param.store) path =
               in
               if List.length parts <> Param.size p then
                 failwith ("Serialize.load_store: size mismatch for " ^ name);
-              List.iteri (fun i x -> p.Param.value.Tensor.data.(i) <- x) parts
+              List.iteri (fun i x -> p.Param.value.Tensor.data.(i) <- x) parts;
+              Hashtbl.replace loaded name ()
           | _ -> failwith "Serialize.load_store: malformed header"
         done
-      with End_of_file -> ())
+      with End_of_file -> ());
+  Param.iter store (fun p ->
+      if not (Hashtbl.mem loaded p.Param.name) then
+        failwith
+          ("Serialize.load_store: parameter " ^ p.Param.name
+         ^ " missing from checkpoint " ^ path))

@@ -73,18 +73,27 @@ type stats = {
   by_reason : (reason * int) list;
 }
 
-(** Run the pipeline over a corpus and tally Table 1's columns. *)
+(** Run the pipeline over a corpus and tally Table 1's columns.
+
+    Candidates are classified on the {!Liger_parallel.Parallel} pool — each
+    with its own generator split from [rng] in candidate order, so the
+    verdicts (and therefore the corpus) are identical at any job count. *)
 let run ?budget rng (candidates : candidate list) =
+  let verdicts =
+    Liger_parallel.Parallel.map_rng_list rng
+      (fun rng c -> (c, classify ?budget rng c))
+      candidates
+  in
   let tally = Hashtbl.create 4 in
   let kept = ref [] in
   List.iter
-    (fun c ->
-      match classify ?budget rng c with
+    (fun (c, verdict) ->
+      match verdict with
       | Kept r -> kept := (c.meth, r) :: !kept
       | Dropped reason ->
           Hashtbl.replace tally reason
             (1 + Option.value ~default:0 (Hashtbl.find_opt tally reason)))
-    candidates;
+    verdicts;
   let by_reason =
     List.filter_map
       (fun r ->

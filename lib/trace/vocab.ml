@@ -22,17 +22,24 @@ let unk_id = 1
 let sos_id = 2
 let eos_id = 3
 
+(* Idempotent: adding a token that is already interned returns its existing
+   id.  Appending unconditionally would leave [names] and [tbl] disagreeing
+   (the table keeps the last id, [names] keeps both rows), breaking the
+   id <-> token round-trip. *)
 let add v tok =
-  if v.count = Array.length v.names then begin
-    let bigger = Array.make (2 * v.count) "" in
-    Array.blit v.names 0 bigger 0 v.count;
-    v.names <- bigger
-  end;
-  let i = v.count in
-  v.names.(i) <- tok;
-  v.count <- i + 1;
-  Hashtbl.replace v.tbl tok i;
-  i
+  match Hashtbl.find_opt v.tbl tok with
+  | Some i -> i
+  | None ->
+      if v.count = Array.length v.names then begin
+        let bigger = Array.make (2 * v.count) "" in
+        Array.blit v.names 0 bigger 0 v.count;
+        v.names <- bigger
+      end;
+      let i = v.count in
+      v.names.(i) <- tok;
+      v.count <- i + 1;
+      Hashtbl.replace v.tbl tok i;
+      i
 
 let create () =
   let v = { tbl = Hashtbl.create 256; names = Array.make 64 ""; count = 0; frozen = false } in
@@ -105,7 +112,10 @@ let save v path =
         output_char oc '\n'
       done)
 
-(** Load a vocabulary saved by {!save}; the result is frozen. *)
+(** Load a vocabulary saved by {!save}; the result is frozen.  A duplicate
+    line means the file was not produced by {!save} (ids would no longer
+    equal line numbers), so it is rejected rather than silently skewing
+    every id after the duplicate. *)
 let load path =
   let ic = open_in path in
   Fun.protect
@@ -115,7 +125,11 @@ let load path =
       (try
          while true do
            let line = input_line ic in
-           ignore (add v (unescape line))
+           let tok = unescape line in
+           if Hashtbl.mem v.tbl tok then
+             failwith
+               (Printf.sprintf "Vocab.load: duplicate token %S in %s" tok path);
+           ignore (add v tok)
          done
        with End_of_file -> ());
       v.frozen <- true;

@@ -10,8 +10,13 @@ cd "$(dirname "$0")/.."
 echo "== dune build"
 dune build @all
 
-echo "== dune runtest"
-dune runtest
+echo "== dune runtest (LIGER_JOBS=2: exercise the domain pool everywhere)"
+LIGER_JOBS=2 dune runtest
+
+echo "== bench smoke: parallel corpus generation on 2 domains"
+dune exec --no-build bench/main.exe -- --jobs 2 > /dev/null
+test -f BENCH_parallel.json
+echo "   ok: BENCH_parallel.json written"
 
 echo "== liger analyze (clean examples, strict)"
 for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do
