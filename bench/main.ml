@@ -11,6 +11,10 @@
      dune exec bench/main.exe -- --jobs 4     # parallel corpus-generation
                                               # benchmark (1 vs 4 domains),
                                               # writes BENCH_parallel.json
+     dune exec bench/main.exe -- --trace t.json --metrics-out m.json
+                                              # Chrome trace + metrics snapshot
+                                              # (also via LIGER_TRACE_OUT /
+                                              # LIGER_METRICS_OUT)
 
    --jobs N alone runs only the parallel benchmark; combine it with the
    other flags to also run those sections on an N-sized pool.  Unknown or
@@ -30,6 +34,7 @@ open Bechamel
 open Liger_tensor
 open Liger_core
 open Liger_eval
+module Obs = Liger_obs.Obs
 
 let say fmt = Printf.printf fmt
 
@@ -223,7 +228,10 @@ let run_parallel_bench ~jobs =
   in
   let build j =
     Parallel.set_jobs j;
-    Parallel.Stats.reset ();
+    (* pool telemetry lives in the metrics registry now; recording it needs
+       the registry on regardless of --metrics-out *)
+    Liger_obs.Metrics.enable ();
+    Liger_obs.Metrics.reset_prefix "parallel.";
     (* reset the id counters so the two builds are comparable byte-for-byte
        (ids only need to be unique within a method / model lifetime) *)
     Liger_lang.Ast.reset_sids ();
@@ -234,10 +242,21 @@ let run_parallel_bench ~jobs =
         ~name:"parbench" ~n:n_methods
     in
     let dt = Unix.gettimeofday () -. t0 in
-    (corpus, dt, Parallel.Stats.snapshot ())
+    (corpus, dt, Liger_obs.Metrics.snapshot ())
   in
   let seq_corpus, seq_dt, _ = build 1 in
-  let par_corpus, par_dt, stats = build jobs in
+  let par_corpus, par_dt, snap = build jobs in
+  (* pool stats, straight from the metrics snapshot *)
+  let pool_tasks = Liger_obs.Metrics.counter_value snap "parallel.tasks" in
+  let pool_batches = Liger_obs.Metrics.counter_value snap "parallel.batches" in
+  let pool_wall = Liger_obs.Metrics.fcounter_value snap "parallel.wall_seconds" in
+  let busy_seconds = Parallel.Stats.busy_of_snapshot snap in
+  let total_busy = Array.fold_left ( +. ) 0.0 busy_seconds in
+  let utilization =
+    if pool_wall > 0.0 && Array.length busy_seconds > 0 then
+      total_busy /. (pool_wall *. float_of_int (Array.length busy_seconds))
+    else 0.0
+  in
   let deterministic = strip_uids seq_corpus = strip_uids par_corpus in
   let speedup = seq_dt /. par_dt in
   say "  methods generated            %12d\n" n_methods;
@@ -245,19 +264,19 @@ let run_parallel_bench ~jobs =
   say "  parallel  (%2d domains)       %12.2f s\n" jobs par_dt;
   say "  speedup                      %12.2fx\n" speedup;
   say "  deterministic (1 vs %d)      %12s\n" jobs (if deterministic then "yes" else "NO");
-  say "  pool tasks                   %12d in %d batches\n" stats.Parallel.Stats.tasks
-    stats.Parallel.Stats.batches;
+  say "  pool tasks                   %12d in %d batches\n" pool_tasks pool_batches;
+  say "  pool utilization             %12.1f %%\n" (100.0 *. utilization);
   Array.iteri
     (fun i busy ->
       say "  domain %d busy                %12.2f s%s\n" i busy
         (if i = 0 then "  (caller)" else ""))
-    stats.Parallel.Stats.busy_seconds;
+    busy_seconds;
   say "%s\n%!" (String.make 72 '-');
   if not deterministic then
     prerr_endline "WARNING: parallel corpus differs from sequential corpus";
   let oc = open_out "BENCH_parallel.json" in
   let busy =
-    stats.Parallel.Stats.busy_seconds |> Array.to_list
+    busy_seconds |> Array.to_list
     |> List.map (Printf.sprintf "%.6f")
     |> String.concat ", "
   in
@@ -275,6 +294,7 @@ let run_parallel_bench ~jobs =
   "pool_tasks": %d,
   "pool_batches": %d,
   "pool_wall_seconds": %.6f,
+  "pool_utilization": %.4f,
   "per_domain_busy_seconds": [%s]
 }
 |}
@@ -282,8 +302,7 @@ let run_parallel_bench ~jobs =
     n_methods jobs seq_dt par_dt speedup
     (float_of_int n_methods /. seq_dt)
     (float_of_int n_methods /. par_dt)
-    deterministic stats.Parallel.Stats.tasks stats.Parallel.Stats.batches
-    stats.Parallel.Stats.wall_seconds busy;
+    deterministic pool_tasks pool_batches pool_wall utilization busy;
   close_out oc;
   say "wrote BENCH_parallel.json\n%!"
 
@@ -292,41 +311,61 @@ let run_parallel_bench ~jobs =
 (* ------------------------------------------------------------------ *)
 
 let usage () =
-  prerr_endline "usage: bench/main.exe [--no-micro | --micro-only] [--jobs N]";
-  prerr_endline "  --no-micro    run the experiments without the Bechamel microbenches";
-  prerr_endline "  --micro-only  run only the Bechamel microbenches";
-  prerr_endline "  --jobs N      run the parallel corpus-generation benchmark on N domains";
-  prerr_endline "                (alone: only that benchmark; with other flags: those too)";
+  prerr_endline
+    "usage: bench/main.exe [--no-micro | --micro-only] [--jobs N] [--trace FILE] \
+     [--metrics-out FILE]";
+  prerr_endline "  --no-micro        run the experiments without the Bechamel microbenches";
+  prerr_endline "  --micro-only      run only the Bechamel microbenches";
+  prerr_endline "  --jobs N          run the parallel corpus-generation benchmark on N domains";
+  prerr_endline "                    (alone: only that benchmark; with other flags: those too)";
+  prerr_endline "  --trace FILE      write a Chrome trace_event JSON (chrome://tracing / Perfetto)";
+  prerr_endline "  --metrics-out FILE  write a metrics snapshot JSON on exit";
   exit 2
 
+type opts = {
+  no_micro : bool;
+  micro_only : bool;
+  jobs : int option;
+  trace_out : string option;
+  metrics_out : string option;
+}
+
 let () =
-  let rec parse (no_micro, micro_only, jobs) = function
-    | [] -> (no_micro, micro_only, jobs)
-    | "--no-micro" :: rest -> parse (true, micro_only, jobs) rest
-    | "--micro-only" :: rest -> parse (no_micro, true, jobs) rest
+  let rec parse o = function
+    | [] -> o
+    | "--no-micro" :: rest -> parse { o with no_micro = true } rest
+    | "--micro-only" :: rest -> parse { o with micro_only = true } rest
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some n when n >= 1 -> parse (no_micro, micro_only, Some n) rest
+        | Some n when n >= 1 -> parse { o with jobs = Some n } rest
         | _ ->
             Printf.eprintf "error: --jobs expects a positive integer, got %S\n" n;
             usage ())
-    | "--jobs" :: [] ->
-        prerr_endline "error: --jobs expects an argument";
+    | "--trace" :: path :: rest -> parse { o with trace_out = Some path } rest
+    | "--metrics-out" :: path :: rest -> parse { o with metrics_out = Some path } rest
+    | [ (("--jobs" | "--trace" | "--metrics-out") as flag) ] ->
+        Printf.eprintf "error: %s expects an argument\n" flag;
         usage ()
     | arg :: _ ->
         Printf.eprintf "error: unknown argument %S\n" arg;
         usage ()
   in
-  let no_micro, micro_only, jobs =
-    parse (false, false, None) (List.tl (Array.to_list Sys.argv))
+  let o =
+    parse
+      { no_micro = false; micro_only = false; jobs = None; trace_out = None;
+        metrics_out = None }
+      (List.tl (Array.to_list Sys.argv))
   in
-  if no_micro && micro_only then begin
+  if o.no_micro && o.micro_only then begin
     prerr_endline "error: --no-micro and --micro-only together would run nothing";
     usage ()
   end;
-  (match jobs with Some n -> Liger_parallel.Parallel.set_jobs n | None -> ());
+  Obs.init_logging ();
+  Obs.init ?metrics_out:o.metrics_out ?trace_out:o.trace_out ();
+  (match o.jobs with Some n -> Liger_parallel.Parallel.set_jobs n | None -> ());
   (* --jobs alone means: only the parallel benchmark *)
-  let only_parbench = jobs <> None && (not no_micro) && not micro_only in
-  if (not micro_only) && not only_parbench then run_experiments ();
-  if (not no_micro) && not only_parbench then run_micro ();
-  match jobs with Some n -> run_parallel_bench ~jobs:n | None -> ()
+  let only_parbench = o.jobs <> None && (not o.no_micro) && not o.micro_only in
+  if (not o.micro_only) && not only_parbench then run_experiments ();
+  if (not o.no_micro) && not only_parbench then run_micro ();
+  (match o.jobs with Some n -> run_parallel_bench ~jobs:n | None -> ());
+  Obs.print_report ()

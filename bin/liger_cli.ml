@@ -10,6 +10,8 @@
      dataset         - generate a corpus and print Table 1-style statistics
      train           - train a model on a generated corpus and report metrics
      experiments     - run the paper's tables/figures (same as bench/main.exe)
+     stats    FILE   - summarize or validate a telemetry file written via
+                       --metrics-out/--trace (or the LIGER_*_OUT env vars)
 *)
 
 open Cmdliner
@@ -22,6 +24,25 @@ open Liger_symexec
 open Liger_core
 open Liger_dataset
 open Liger_eval
+module Obs = Liger_obs.Obs
+
+(* Telemetry flags shared by the long-running subcommands.  The term's
+   side-effect configures the registry/tracer before the command body runs;
+   explicit flags win over LIGER_METRICS_OUT / LIGER_TRACE_OUT. *)
+let obs_term =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write a metrics snapshot (JSON) to $(docv) on exit.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON to $(docv) on exit (open in \
+                   chrome://tracing or ui.perfetto.dev).")
+  in
+  let setup metrics_out trace_out = Obs.init ?metrics_out ?trace_out () in
+  Term.(const setup $ metrics_out $ trace_out)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -161,7 +182,7 @@ let paths_cmd =
 (* ---------------- dataset ---------------- *)
 
 let dataset_cmd =
-  let run n seed coset =
+  let run () n seed coset =
     let rng = Rng.create seed in
     if coset then begin
       let corpus = Pipeline.build_coset rng ~n in
@@ -170,7 +191,8 @@ let dataset_cmd =
     else begin
       let corpus = Pipeline.build_naming rng ~name:"generated" ~n in
       Fmt.pr "%a@." Stats.pp corpus.Pipeline.stats
-    end
+    end;
+    Obs.print_report ()
   in
   let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Corpus size to generate.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
@@ -179,7 +201,7 @@ let dataset_cmd =
   in
   Cmd.v
     (Cmd.info "dataset" ~doc:"Generate a corpus and print its statistics")
-    Term.(const run $ n $ seed $ coset)
+    Term.(const run $ obs_term $ n $ seed $ coset)
 
 (* ---------------- model persistence ---------------- *)
 
@@ -212,7 +234,7 @@ let load_model dir =
 (* ---------------- train ---------------- *)
 
 let train_cmd =
-  let run model_name n epochs dim seed save =
+  let run () model_name n epochs dim seed save =
     let rng = Rng.create seed in
     Printf.printf "building corpus (n=%d)...\n%!" n;
     let corpus = Pipeline.build_naming rng ~name:"cli" ~n in
@@ -241,9 +263,13 @@ let train_cmd =
         (Rng.create (seed + 1)) wrapper ~train:corpus.Pipeline.train
         ~valid:corpus.Pipeline.valid
     in
-    Printf.printf "best epoch: %d\n" history.Train.best_epoch;
+    if history.Train.vacuous_best then
+      Printf.printf "best epoch: %d (validation split empty; selection vacuous)\n"
+        history.Train.best_epoch
+    else Printf.printf "best epoch: %d\n" history.Train.best_epoch;
     let r = Train.eval_naming wrapper corpus.Pipeline.test in
     Fmt.pr "test: %a@." Metrics.pp_prf r.Train.prf;
+    Obs.print_report ();
     match (save, liger_model) with
     | Some dir, Some m ->
         save_model dir m corpus.Pipeline.vocab;
@@ -265,7 +291,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a model on a generated corpus")
-    Term.(const run $ model $ n $ epochs $ dim $ seed $ save)
+    Term.(const run $ obs_term $ model $ n $ epochs $ dim $ seed $ save)
 
 (* ---------------- predict ---------------- *)
 
@@ -340,7 +366,7 @@ let similar_cmd =
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
-  let run which =
+  let run () which =
     let ctx = Experiments.create_ctx () in
     ctx.Experiments.progress <- (fun s -> Printf.eprintf "  %s\n%!" s);
     let all = which = [] in
@@ -354,7 +380,8 @@ let experiments_cmd =
     if want "fig9" then Report.print_fig9 (Experiments.fig9 ctx);
     if want "fig10" then Report.print_fig10 (Experiments.fig10 ctx);
     if want "fig11" then Report.print_fig11 (Experiments.fig11 ctx);
-    if want "attn" then Report.print_attention (Experiments.attention_report ctx)
+    if want "attn" then Report.print_attention (Experiments.attention_report ctx);
+    Obs.print_report ()
   in
   let which =
     Arg.(value & pos_all string []
@@ -364,13 +391,45 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the paper's evaluation (LIGER_SCALE=quick|full)")
-    Term.(const run $ which)
+    Term.(const run $ obs_term $ which)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let run file validate =
+    if validate then
+      match Obs.validate_file file with
+      | Ok summary -> Printf.printf "%s: OK (%s)\n" file summary
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+    else
+      match Obs.summarize_file file with
+      | Ok text -> print_string text
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Check structure only (trace events matched, metrics sections \
+                   present); exit non-zero on malformed input.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Summarize or validate a telemetry file (metrics snapshot or Chrome trace)")
+    Term.(const run $ file $ validate)
 
 let () =
+  Obs.init_logging ();
+  (* env-var-only configuration; subcommand flags override via [obs_term] *)
+  Obs.init ();
   let doc = "Blended, precise semantic program embeddings (LiGer, PLDI 2020)" in
   let info = Cmd.info "liger" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
-            similar_cmd; experiments_cmd ]))
+            similar_cmd; experiments_cmd; stats_cmd ]))

@@ -110,8 +110,13 @@ let encode_trace ?(keep = fun _ -> true) cfg vocab (b : Blended.t) : enc_trace =
     {!Mincover.reduction_order} so that taking a prefix preserves line
     coverage — the selection the symbolic-reduction experiments make. *)
 let encode_example cfg vocab meth (blended : Blended.t list) label : enc_example =
+  Liger_obs.Obs.Span.with_ ~name:"encode.example"
+    ~args:(fun () -> [ ("method", meth.Ast.mname) ])
+  @@ fun () ->
+  Liger_obs.Metrics.incr "encode.examples";
   let ordered = Mincover.reduction_order blended in
   let chosen = List.filteri (fun i _ -> i < cfg.max_paths) ordered in
+  Liger_obs.Metrics.add "encode.traces" (List.length chosen);
   let target_ids =
     match label with
     | Name name -> List.map (fun t -> Vocab.id vocab t) (Subtoken.split name)

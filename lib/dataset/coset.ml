@@ -128,18 +128,25 @@ let generate rng ~n =
     let verdicts =
       Liger_parallel.Parallel.map_list
         (fun (reference, item, trng) ->
-          ( item,
-            Typecheck.is_well_typed item.meth && passes_tests trng ~reference item.meth ))
+          Liger_obs.Obs.Span.with_ ~name:"coset.check"
+            ~args:(fun () -> [ ("algo", item.algo) ])
+            (fun () ->
+              ( item,
+                Typecheck.is_well_typed item.meth && passes_tests trng ~reference item.meth )))
         batch
     in
     List.iter
       (fun (item, ok) ->
         if !n_kept < n then
           if ok then begin
+            Liger_obs.Metrics.incr "coset.kept";
             kept := item :: !kept;
             incr n_kept
           end
-          else incr dropped)
+          else begin
+            Liger_obs.Metrics.incr "coset.dropped";
+            incr dropped
+          end)
       verdicts
   done;
   (List.rev !kept, !dropped)

@@ -10,6 +10,7 @@ open Liger_trace
 open Liger_testgen
 open Liger_core
 open Liger_parallel
+module Obs = Liger_obs.Obs
 
 type corpus = {
   name : string;
@@ -41,11 +42,15 @@ let budget_for (cfg : Common.enc_config) =
 let assemble ~name ~enc_config ~stats splits =
   let vocab = Vocab.create () in
   let train_raw, valid_raw, test_raw = splits in
-  List.iter
-    (fun (_, blended, label) -> Common.register_example enc_config vocab blended label)
-    train_raw;
-  Vocab.freeze vocab;
+  Obs.Span.with_ ~name:"pipeline.vocab" (fun () ->
+      List.iter
+        (fun (_, blended, label) -> Common.register_example enc_config vocab blended label)
+        train_raw;
+      Vocab.freeze vocab);
   let encode_all raw =
+    Obs.Span.with_ ~name:"pipeline.encode"
+      ~args:(fun () -> [ ("examples", string_of_int (List.length raw)) ])
+    @@ fun () ->
     Parallel.map_list
       (fun (meth, blended, label) -> Common.encode_example enc_config vocab meth blended label)
       raw
@@ -62,14 +67,23 @@ let assemble ~name ~enc_config ~stats splits =
 
 (** Build a method-name-prediction corpus of [n] generated methods. *)
 let build_naming ?(enc_config = Common.default_enc_config) ?profile rng ~name ~n =
-  let items = Javagen.generate ?profile rng ~n in
+  Obs.Span.with_ ~name:"pipeline.build_naming" ~args:(fun () -> [ ("corpus", name) ])
+  @@ fun () ->
+  let items =
+    Obs.Span.with_ ~name:"pipeline.generate" (fun () -> Javagen.generate ?profile rng ~n)
+  in
   let train_items, valid_items, test_items = Javagen.split_by_project ?profile items in
   let budget = budget_for enc_config in
   let filter_split split_name items =
     let kept, fstats =
-      Filter.run ~budget rng (List.map (fun (it : Javagen.item) -> it.Javagen.candidate) items)
+      Obs.Span.with_ ~name:"pipeline.filter" ~args:(fun () -> [ ("split", split_name) ])
+        (fun () ->
+          Filter.run ~budget rng
+            (List.map (fun (it : Javagen.item) -> it.Javagen.candidate) items))
     in
     let raw =
+      Obs.Span.with_ ~name:"pipeline.blend" ~args:(fun () -> [ ("split", split_name) ])
+      @@ fun () ->
       Parallel.map_list
         (fun (meth, r) ->
           (meth, Feedback.blended meth r, Common.Name meth.Ast.mname))
@@ -93,13 +107,18 @@ let build_naming ?(enc_config = Common.default_enc_config) ?profile rng ~name ~n
 
 (** Build the COSET-analogue classification corpus of [n] clean programs. *)
 let build_coset ?(enc_config = Common.default_enc_config) rng ~n =
-  let items, dropped = Coset.generate rng ~n in
+  Obs.Span.with_ ~name:"pipeline.build_coset" @@ fun () ->
+  let items, dropped =
+    Obs.Span.with_ ~name:"pipeline.generate" (fun () -> Coset.generate rng ~n)
+  in
   let train_items, valid_items, test_items = Coset.split rng items in
   let budget = budget_for enc_config in
   let collect split_name items =
     (* one generator per item, split in item order: deterministic at any
        job count *)
     let raw =
+      Obs.Span.with_ ~name:"pipeline.blend" ~args:(fun () -> [ ("split", split_name) ])
+      @@ fun () ->
       Parallel.filter_map_rng rng
         (fun rng (it : Coset.item) ->
           let r = Feedback.generate ~budget rng it.Coset.meth in

@@ -178,6 +178,9 @@ let key_of ~corpus ~kind ~view =
     key), so independent points run in parallel — see {!sweep}. *)
 let compute ctx ~corpus ~kind ~view =
   let key = key_of ~corpus ~kind ~view in
+  Liger_obs.Obs.Span.with_ ~name:"experiment.point"
+    ~args:(fun () -> [ ("key", key) ])
+  @@ fun () ->
   ctx.progress (Printf.sprintf "training %s" key);
   let c = corpus_of ctx corpus in
       let task = task_of ctx corpus in
@@ -214,9 +217,12 @@ let compute ctx ~corpus ~kind ~view =
         | Code2vec_k -> (Zoo.code2vec ~dim ~train:c.Pipeline.train task, None)
         | Code2seq_k -> (Zoo.code2seq ~dim ~train:c.Pipeline.train task, None)
       in
-      let (_ : Train.history) =
+      let history =
         Train.fit ~options rng wrapper ~train:c.Pipeline.train ~valid:c.Pipeline.valid
       in
+      if history.Train.vacuous_best then
+        ctx.progress
+          (Printf.sprintf "%s: empty validation split, best-epoch selection vacuous" key);
       let naming, classify =
         match task with
         | Liger_model.Naming -> (Some (Train.eval_naming wrapper c.Pipeline.test), None)
@@ -247,8 +253,11 @@ let run ctx ~corpus ~kind ~view =
   let view = normalize_view ctx view in
   let key = key_of ~corpus ~kind ~view in
   match Hashtbl.find_opt ctx.cache key with
-  | Some r -> r
+  | Some r ->
+      Liger_obs.Metrics.incr "experiments.cache_hits";
+      r
   | None ->
+      Liger_obs.Metrics.incr "experiments.cache_misses";
       let r = compute ctx ~corpus ~kind ~view in
       Hashtbl.replace ctx.cache key r;
       r
@@ -308,13 +317,21 @@ let sweep ctx ~corpus ~kind ~views =
            if Hashtbl.mem ctx.cache (key_of ~corpus ~kind ~view) then None else Some view)
          views)
   in
+  Liger_obs.Metrics.add "experiments.cache_misses" (List.length missing);
   let results =
     Liger_parallel.Parallel.map_list (fun view -> compute ctx ~corpus ~kind ~view) missing
   in
   List.iter2
     (fun view r -> Hashtbl.replace ctx.cache (key_of ~corpus ~kind ~view) r)
     missing results;
-  List.map (fun (x, view) -> (x, run ctx ~corpus ~kind ~view)) views
+  (* collect from the cache directly: counting these lookups through [run]
+     would book the points just trained above as cache hits *)
+  List.map
+    (fun (x, view) ->
+      if not (List.mem view missing) then
+        Liger_obs.Metrics.incr "experiments.cache_hits";
+      (x, Hashtbl.find ctx.cache (key_of ~corpus ~kind ~view)))
+    views
 
 let concrete_sweep ctx ~corpus ~kind =
   let points =

@@ -9,6 +9,7 @@
 
 open Liger_tensor
 open Liger_core
+module Obs = Liger_obs.Obs
 
 type prediction = Subtokens of string list | Class of int
 
@@ -45,6 +46,10 @@ let restore store snap =
     forward passes (each builds and discards its own tape), so they run on
     the {!Liger_parallel.Parallel} pool, in input order. *)
 let predictions model examples =
+  Obs.Span.with_ ~name:"train.predictions"
+    ~args:(fun () ->
+      [ ("model", model.name); ("n", string_of_int (List.length examples)) ])
+  @@ fun () ->
   Liger_parallel.Parallel.map_list
     (fun (ex : Common.enc_example) ->
       let gold =
@@ -75,21 +80,42 @@ let score model examples =
 type history = {
   train_losses : float list;  (* mean loss per epoch *)
   valid_scores : float list;
+  epoch_times : float list;   (* wall-clock seconds per epoch *)
   best_epoch : int;
   skipped_steps : int;  (* updates skipped because gradients were non-finite *)
+  vacuous_best : bool;  (* [valid] was empty: every epoch scored 0.0 and tied,
+                           so best-epoch selection carried no information *)
 }
 
 (** Train [model] on [train], selecting the epoch with the best score on
     [valid]. *)
 let fit ?(options = default_options) rng model ~train ~valid =
+  Obs.Span.with_ ~name:"train.fit" ~args:(fun () -> [ ("model", model.name) ])
+  @@ fun () ->
   let opt = Optimizer.adam ~lr:options.lr () in
   let examples = Array.of_list train in
-  let best = ref (score model valid) in
+  let vacuous = valid = [] in
+  if vacuous then
+    (* not gated on options.log: silently "selecting" among all-zero tied
+       scores is exactly the failure mode worth hearing about *)
+    Logs.warn (fun m ->
+        m "[%s] validation set is empty; best-epoch selection is vacuous (the \
+           last evaluated epoch is kept)"
+          model.name);
+  (* the untrained model's score is the selection baseline; with no
+     validation data there is nothing to measure, so pin it to 0.0 rather
+     than calling [score] on an empty list *)
+  let best = ref (if vacuous then 0.0 else score model valid) in
   let best_snap = ref (snapshot model.store) in
   let best_epoch = ref 0 in
-  let losses = ref [] and scores = ref [] in
+  let losses = ref [] and scores = ref [] and times = ref [] in
   let skipped = ref 0 in
   for epoch = 1 to options.epochs do
+    Obs.Span.with_ ~name:"train.epoch"
+      ~args:(fun () ->
+        [ ("model", model.name); ("epoch", string_of_int epoch) ])
+    @@ fun () ->
+    let t0 = Unix.gettimeofday () in
     Rng.shuffle rng examples;
     let total = ref 0.0 in
     Array.iter
@@ -99,11 +125,15 @@ let fit ?(options = default_options) rng model ~train ~valid =
         total := !total +. Autodiff.scalar_value loss;
         Autodiff.backward tape loss;
         let norm = Optimizer.clip_grads model.store ~max_norm:options.clip in
-        if Float.is_finite norm then Optimizer.step opt model.store
+        if Float.is_finite norm then begin
+          Obs.Metrics.observe "train.grad_norm" norm;
+          Optimizer.step opt model.store
+        end
         else begin
           (* clip_grads zeroed the poisoned gradients; skip the update so a
              single NaN cannot reach Adam's moment estimates *)
           incr skipped;
+          Obs.Metrics.incr "train.skipped_steps";
           if options.log then
             Logs.warn (fun m ->
                 m "[%s] epoch %d: non-finite gradient norm, step skipped"
@@ -115,12 +145,18 @@ let fit ?(options = default_options) rng model ~train ~valid =
       else !total /. float_of_int (Array.length examples)
     in
     losses := mean_loss :: !losses;
+    let dt = Unix.gettimeofday () -. t0 in
+    times := dt :: !times;
+    Obs.Metrics.fadd "train.epoch_seconds" ~labels:[ ("model", model.name) ] dt;
+    Obs.Metrics.gauge "train.loss" ~labels:[ ("model", model.name) ] mean_loss;
     if epoch mod options.eval_every = 0 || epoch = options.epochs then begin
-      let v = score model valid in
+      let v = if vacuous then 0.0 else score model valid in
       scores := v :: !scores;
+      Obs.Metrics.gauge "train.valid_score" ~labels:[ ("model", model.name) ] v;
       if options.log then
         Logs.info (fun m ->
-            m "[%s] epoch %d: loss %.4f valid %.4f" model.name epoch mean_loss v);
+            m "[%s] epoch %d: loss %.4f valid %.4f (%.2fs)" model.name epoch
+              mean_loss v dt);
       (* >= not >: [best] starts at the untrained model's score, so on a
          validation plateau a strict comparison would keep the untrained
          snapshot and discard every trained epoch *)
@@ -135,8 +171,10 @@ let fit ?(options = default_options) rng model ~train ~valid =
   {
     train_losses = List.rev !losses;
     valid_scores = List.rev !scores;
+    epoch_times = List.rev !times;
     best_epoch = !best_epoch;
     skipped_steps = !skipped;
+    vacuous_best = vacuous;
   }
 
 (* ---------------- evaluation summaries ---------------- *)

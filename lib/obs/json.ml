@@ -1,0 +1,236 @@
+(** A minimal JSON reader/writer.
+
+    The telemetry files ({!Metrics} snapshots, {!Span} Chrome traces) are
+    written by hand for deterministic key order, and read back by
+    [liger stats] and the test suite.  The container has no JSON library
+    baked in, so this is a small self-contained implementation: the writer
+    side is just escaping and float formatting helpers, the reader is a
+    plain recursive-descent parser over the full JSON grammar. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------------- writing ---------------- *)
+
+(** Escape [s] for inclusion between double quotes. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Deterministic float rendering that is always a valid JSON number
+    (JSON has no NaN/infinity; they are clamped to 0). *)
+let of_float x =
+  if not (Float.is_finite x) then "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6f" x
+
+(* ---------------- parsing ---------------- *)
+
+exception Error of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            pos := !pos + 4;
+            (* encode the code point as UTF-8 (surrogates kept as-is) *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let digits () =
+      let before = !pos in
+      while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = before then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing content";
+    v
+  with
+  | v -> Ok v
+  | exception Error msg -> Error msg
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error msg -> Error msg
+
+(* ---------------- accessors ---------------- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list = function Arr l -> Some l | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None

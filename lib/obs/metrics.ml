@@ -1,0 +1,273 @@
+(** A domain-safe metrics registry: counters, float counters, gauges and
+    fixed-bucket histograms, all optionally labeled.
+
+    The registry is process-global and disabled by default.  Every recording
+    entry point checks one atomic flag first and returns immediately when
+    telemetry is off, so an uninstrumented run pays one branch per event —
+    the overhead contract the bench numbers rely on.  When enabled, all
+    operations take a single registry mutex; recording happens at task/epoch
+    granularity (not per token), so contention is negligible next to the
+    work being measured.
+
+    Snapshots render to JSON with deterministic key order (entries sorted by
+    name, then labels), so identical runs produce byte-identical files.
+    [LIGER_METRICS_OUT] (see {!Obs.init}) dumps a snapshot on exit. *)
+
+type labels = (string * string) list
+
+let canon (labels : labels) = List.sort compare labels
+
+(* ---------------- storage ---------------- *)
+
+type hist = {
+  bounds : float array;  (* strictly increasing bucket upper bounds *)
+  counts : int array;    (* length [bounds + 1]; last bucket is overflow *)
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type metric =
+  | Counter of { mutable c : int }
+  | Fcounter of { mutable f : float }
+  | Gauge of { mutable g : float }
+  | Histogram of hist
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let mutex = Mutex.create ()
+let registry : (string * labels, metric) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let find_or_add key mk =
+  match Hashtbl.find_opt registry key with
+  | Some m -> m
+  | None ->
+      let m = mk () in
+      Hashtbl.add registry key m;
+      m
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " already registered with another kind")
+
+(* ---------------- recording ---------------- *)
+
+(** [add name n] bumps the integer counter [name] by [n]. *)
+let add ?(labels = []) name n =
+  if Atomic.get enabled_flag then
+    locked (fun () ->
+        match find_or_add (name, canon labels) (fun () -> Counter { c = 0 }) with
+        | Counter r -> r.c <- r.c + n
+        | _ -> kind_error name)
+
+let incr ?labels name = add ?labels name 1
+
+(** [fadd name x] accumulates into the float counter [name] (busy seconds,
+    wall seconds, ...). *)
+let fadd ?(labels = []) name x =
+  if Atomic.get enabled_flag then
+    locked (fun () ->
+        match find_or_add (name, canon labels) (fun () -> Fcounter { f = 0.0 }) with
+        | Fcounter r -> r.f <- r.f +. x
+        | _ -> kind_error name)
+
+(** [gauge name x] sets the gauge [name] to its latest value. *)
+let gauge ?(labels = []) name x =
+  if Atomic.get enabled_flag then
+    locked (fun () ->
+        match find_or_add (name, canon labels) (fun () -> Gauge { g = x }) with
+        | Gauge r -> r.g <- x
+        | _ -> kind_error name)
+
+(** Exponential-ish default buckets covering sub-millisecond spans up to
+    minutes, and unit-scale values like gradient norms. *)
+let default_buckets =
+  [| 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0 |]
+
+let bucket_index bounds x =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if x <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+(** [observe name x] records [x] into the fixed-bucket histogram [name];
+    [buckets] (upper bounds, ascending) are fixed by the first observation.
+    Value [x] lands in the first bucket whose bound is [>= x]; values above
+    every bound land in a final overflow bucket. *)
+let observe ?(labels = []) ?(buckets = default_buckets) name x =
+  if Atomic.get enabled_flag then
+    locked (fun () ->
+        match
+          find_or_add (name, canon labels) (fun () ->
+              Histogram
+                {
+                  bounds = Array.copy buckets;
+                  counts = Array.make (Array.length buckets + 1) 0;
+                  hsum = 0.0;
+                  hcount = 0;
+                })
+        with
+        | Histogram h ->
+            let i = bucket_index h.bounds x in
+            h.counts.(i) <- h.counts.(i) + 1;
+            h.hsum <- h.hsum +. x;
+            h.hcount <- h.hcount + 1
+        | _ -> kind_error name)
+
+(* ---------------- resetting ---------------- *)
+
+let reset () = locked (fun () -> Hashtbl.reset registry)
+
+(** Drop every metric whose name starts with [prefix] (subsystem resets,
+    e.g. the pool stats between bench builds). *)
+let reset_prefix prefix =
+  locked (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun ((name, _) as key) _ acc ->
+            if String.length name >= String.length prefix
+               && String.sub name 0 (String.length prefix) = prefix
+            then key :: acc
+            else acc)
+          registry []
+      in
+      List.iter (Hashtbl.remove registry) doomed)
+
+(* ---------------- snapshots ---------------- *)
+
+type hist_view = { buckets : float array; counts : int array; sum : float; count : int }
+
+type value = C of int | F of float | G of float | H of hist_view
+
+type entry = { e_name : string; e_labels : labels; e_value : value }
+
+type snapshot = entry list
+
+(** A consistent copy of the whole registry, sorted by (name, labels). *)
+let snapshot () : snapshot =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun (name, labels) metric acc ->
+          let value =
+            match metric with
+            | Counter r -> C r.c
+            | Fcounter r -> F r.f
+            | Gauge r -> G r.g
+            | Histogram h ->
+                H
+                  {
+                    buckets = Array.copy h.bounds;
+                    counts = Array.copy h.counts;
+                    sum = h.hsum;
+                    count = h.hcount;
+                  }
+          in
+          { e_name = name; e_labels = labels; e_value = value } :: acc)
+        registry [])
+  |> List.sort (fun a b -> compare (a.e_name, a.e_labels) (b.e_name, b.e_labels))
+
+let find ?(labels = []) (snap : snapshot) name =
+  let labels = canon labels in
+  List.find_map
+    (fun e -> if e.e_name = name && e.e_labels = labels then Some e.e_value else None)
+    snap
+
+let counter_value ?labels snap name =
+  match find ?labels snap name with Some (C n) -> n | _ -> 0
+
+let fcounter_value ?labels snap name =
+  match find ?labels snap name with Some (F x) -> x | _ -> 0.0
+
+let gauge_value ?labels snap name =
+  match find ?labels snap name with Some (G x) -> Some x | _ -> None
+
+let hist_view ?labels snap name =
+  match find ?labels snap name with Some (H h) -> Some h | _ -> None
+
+(** Every entry with the given name, across label sets. *)
+let entries_with (snap : snapshot) name = List.filter (fun e -> e.e_name = name) snap
+
+(** Estimated [q]-quantile (0..1) from a histogram by linear interpolation
+    inside the bucket holding the target rank; the overflow bucket reports
+    its lower bound (the largest finite boundary). *)
+let quantile (h : hist_view) q =
+  if h.count = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int h.count in
+    let nb = Array.length h.buckets in
+    let rec go i cum =
+      if i > nb then h.buckets.(nb - 1)
+      else
+        let c = h.counts.(i) in
+        if c > 0 && float_of_int cum +. float_of_int c >= target then
+          if i >= nb then h.buckets.(nb - 1)
+          else
+            let lo = if i = 0 then 0.0 else h.buckets.(i - 1) in
+            let hi = h.buckets.(i) in
+            lo +. ((hi -. lo) *. (target -. float_of_int cum) /. float_of_int c)
+        else go (i + 1) (cum + c)
+    in
+    go 0 0
+  end
+
+(* ---------------- JSON export ---------------- *)
+
+let render_key name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      ^ "}"
+
+(** Render a snapshot as JSON with deterministic key order: one object per
+    metric kind, keys of the form [name{label=value,...}]. *)
+let to_json (snap : snapshot) =
+  let buf = Buffer.create 1024 in
+  let section kind keep render =
+    let entries = List.filter keep snap in
+    Buffer.add_string buf (Printf.sprintf "  %S: {" kind);
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\n    \"%s\": %s"
+             (Json.escape (render_key e.e_name e.e_labels))
+             (render e.e_value)))
+      entries;
+    if entries <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf "}"
+  in
+  Buffer.add_string buf "{\n";
+  section "counters"
+    (fun e -> match e.e_value with C _ -> true | _ -> false)
+    (function C n -> string_of_int n | _ -> assert false);
+  Buffer.add_string buf ",\n";
+  section "fcounters"
+    (fun e -> match e.e_value with F _ -> true | _ -> false)
+    (function F x -> Json.of_float x | _ -> assert false);
+  Buffer.add_string buf ",\n";
+  section "gauges"
+    (fun e -> match e.e_value with G _ -> true | _ -> false)
+    (function G x -> Json.of_float x | _ -> assert false);
+  Buffer.add_string buf ",\n";
+  section "histograms"
+    (fun e -> match e.e_value with H _ -> true | _ -> false)
+    (function
+      | H h ->
+          let floats a = String.concat "," (List.map Json.of_float (Array.to_list a)) in
+          let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+          Printf.sprintf "{\"buckets\":[%s],\"counts\":[%s],\"sum\":%s,\"count\":%d}"
+            (floats h.buckets) (ints h.counts) (Json.of_float h.sum) h.count
+      | _ -> assert false);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out (path ^ ".tmp") in
+  output_string oc (to_json (snapshot ()));
+  close_out oc;
+  Sys.rename (path ^ ".tmp") path

@@ -1,0 +1,333 @@
+(** The observability front door: logging setup, env-var wiring for the
+    {!Metrics} registry and {!Span} tracer, the human-readable end-of-run
+    report, and the readers behind [liger stats].
+
+    Conventions used across the pipeline (all optional — a metric that was
+    never recorded simply doesn't appear in the snapshot):
+
+    - [parallel.*] — pool telemetry (tasks, batches, wall and per-domain
+      busy seconds), recorded by {!Liger_parallel.Parallel}.
+    - [filter.kept] / [filter.dropped{reason=...}] — Table-1 verdicts.
+    - [testgen.*] — Randoop-analogue attempts/crashes/timeouts.
+    - [encode.*], [pipeline.*], [coset.*] — corpus construction.
+    - [train.*] — per-epoch training telemetry (loss, valid score,
+      grad-norm histogram, skipped steps, epoch seconds).
+    - [experiments.cache_hits/misses] — sweep cache effectiveness. *)
+
+module Json = Json
+module Metrics = Metrics
+module Span = Span
+
+(* ---------------- logging ---------------- *)
+
+(** [LIGER_LOG] levels; [quiet] disables logging entirely. *)
+let level_of_string = function
+  | "quiet" -> Ok None
+  | "error" -> Ok (Some Logs.Error)
+  | "warn" | "warning" -> Ok (Some Logs.Warning)
+  | "info" -> Ok (Some Logs.Info)
+  | "debug" -> Ok (Some Logs.Debug)
+  | s -> Error s
+
+let reporter ppf =
+  let report src level ~over k msgf =
+    let k _ =
+      over ();
+      k ()
+    in
+    msgf @@ fun ?header ?tags fmt ->
+    ignore header;
+    ignore tags;
+    let t = Unix.gettimeofday () in
+    let tm = Unix.localtime t in
+    let ms = int_of_float (Float.rem t 1.0 *. 1000.0) in
+    Format.kfprintf k ppf
+      ("[%02d:%02d:%02d.%03d] [%a] [%s] @[" ^^ fmt ^^ "@]@.")
+      tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec ms Logs.pp_level level
+      (Logs.Src.name src)
+  in
+  { Logs.report }
+
+(** Install a [Logs] reporter (timestamps + level + source prefix) writing
+    to [out] (stderr by default), at the level named by [LIGER_LOG]
+    ([quiet|error|warn|info|debug]; default [warn]).  Without this call the
+    [Logs.info]/[Logs.warn] sprinkled through the pipeline go nowhere. *)
+let init_logging ?(out = Format.err_formatter) () =
+  let level =
+    match Sys.getenv_opt "LIGER_LOG" with
+    | None -> Some Logs.Warning
+    | Some s -> (
+        match level_of_string (String.lowercase_ascii (String.trim s)) with
+        | Ok level -> level
+        | Error s ->
+            Printf.eprintf
+              "liger: ignoring LIGER_LOG=%S (expected quiet|error|warn|info|debug)\n%!" s;
+            Some Logs.Warning)
+  in
+  Logs.set_level ~all:true level;
+  Logs.set_reporter (reporter out)
+
+(* ---------------- enabling + exit dumps ---------------- *)
+
+let metrics_path = ref None
+let trace_path = ref None
+let exit_hook = ref false
+
+(** Write whatever outputs were configured (also runs automatically on
+    exit). *)
+let flush () =
+  (match !metrics_path with Some p -> Metrics.write p | None -> ());
+  match !trace_path with Some p -> Span.write p | None -> ()
+
+(** Resolve the telemetry outputs — explicit arguments (CLI flags) win over
+    the [LIGER_METRICS_OUT] / [LIGER_TRACE_OUT] environment — enable the
+    corresponding subsystems, and arrange for the files to be written on
+    exit.  With neither configured this is a no-op and the whole telemetry
+    layer stays disabled. *)
+let init ?metrics_out ?trace_out () =
+  let pick arg env = match arg with Some _ as p -> p | None -> Sys.getenv_opt env in
+  (match pick metrics_out "LIGER_METRICS_OUT" with
+  | Some p ->
+      metrics_path := Some p;
+      Metrics.enable ()
+  | None -> ());
+  (match pick trace_out "LIGER_TRACE_OUT" with
+  | Some p ->
+      trace_path := Some p;
+      Span.enable ()
+  | None -> ());
+  if (!metrics_path <> None || !trace_path <> None) && not !exit_hook then begin
+    exit_hook := true;
+    at_exit flush
+  end
+
+let enabled () = Metrics.enabled () || Span.enabled ()
+
+(* ---------------- the end-of-run report ---------------- *)
+
+let buf_table buf rows =
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+      (List.map String.length (List.hd rows))
+      rows
+  in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf "  ";
+      List.iteri
+        (fun i cell ->
+          let w = List.nth widths i in
+          Buffer.add_string buf (if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "  %*s" w cell))
+        row;
+      Buffer.add_char buf '\n')
+    rows
+
+(** The human-readable end-of-run report: top spans by self time, pool
+    utilization, and the Table-1 drop-reason tally — each section only when
+    its data was recorded. *)
+let report () =
+  let buf = Buffer.create 1024 in
+  let snap = Metrics.snapshot () in
+  Buffer.add_string buf "== observability report ==\n";
+  (* top spans by self time *)
+  (match Span.aggregate () with
+  | [] -> ()
+  | aggs ->
+      Buffer.add_string buf "top spans by self time:\n";
+      let top = List.filteri (fun i _ -> i < 12) aggs in
+      buf_table buf
+        ([ "span"; "count"; "total s"; "self s" ]
+        :: List.map
+             (fun (a : Span.agg) ->
+               [ a.Span.agg_name; string_of_int a.Span.agg_count;
+                 Printf.sprintf "%.3f" a.Span.total_s; Printf.sprintf "%.3f" a.Span.self_s ])
+             top));
+  (* pool utilization *)
+  let busy = Metrics.entries_with snap "parallel.busy_seconds" in
+  let wall = Metrics.fcounter_value snap "parallel.wall_seconds" in
+  (if busy <> [] && wall > 0.0 then begin
+     let lanes = List.length busy in
+     let total_busy =
+       List.fold_left
+         (fun acc (e : Metrics.entry) ->
+           match e.Metrics.e_value with Metrics.F x -> acc +. x | _ -> acc)
+         0.0 busy
+     in
+     Buffer.add_string buf
+       (Printf.sprintf "pool utilization: %.1f%% (%.2fs busy / %.2fs wall x %d lanes; %d tasks in %d batches)\n"
+          (100.0 *. total_busy /. (wall *. float_of_int lanes))
+          total_busy wall lanes
+          (Metrics.counter_value snap "parallel.tasks")
+          (Metrics.counter_value snap "parallel.batches"))
+   end);
+  (* drop reasons *)
+  let dropped = Metrics.entries_with snap "filter.dropped" in
+  (if dropped <> [] then begin
+     Buffer.add_string buf "filter verdicts:\n";
+     let rows =
+       [ "kept"; string_of_int (Metrics.counter_value snap "filter.kept") ]
+       :: List.map
+            (fun (e : Metrics.entry) ->
+              let reason =
+                match e.Metrics.e_labels with (_, v) :: _ -> v | [] -> "(unlabeled)"
+              in
+              let n = match e.Metrics.e_value with Metrics.C n -> n | _ -> 0 in
+              [ "dropped: " ^ reason; string_of_int n ])
+            dropped
+     in
+     buf_table buf ([ "verdict"; "methods" ] :: rows)
+   end);
+  (* training *)
+  (match Metrics.hist_view snap "train.grad_norm" with
+  | Some h when h.Metrics.count > 0 ->
+      Buffer.add_string buf
+        (Printf.sprintf "training: %d steps (%d skipped), grad-norm p50 %.3f p95 %.3f\n"
+           h.Metrics.count
+           (Metrics.counter_value snap "train.skipped_steps")
+           (Metrics.quantile h 0.5) (Metrics.quantile h 0.95))
+  | _ -> ());
+  let hits = Metrics.counter_value snap "experiments.cache_hits" in
+  let misses = Metrics.counter_value snap "experiments.cache_misses" in
+  if hits + misses > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "experiment cache: %d hits / %d misses\n" hits misses);
+  Buffer.contents buf
+
+let print_report () = if enabled () then prerr_string (report ())
+
+(* ---------------- readers for [liger stats] ---------------- *)
+
+let is_trace json = Json.member "traceEvents" json <> None
+
+(** Structural validation of a telemetry file: well-formed JSON, and for
+    traces every event must be a complete "X" event with a duration (or a
+    matched "B"/"E" pair).  Returns a one-line summary. *)
+let validate_json json =
+  if is_trace json then begin
+    match Option.bind (Json.member "traceEvents" json) Json.to_list with
+    | None -> Error "traceEvents is not an array"
+    | Some events ->
+        let begins : (string * float, int) Hashtbl.t = Hashtbl.create 16 in
+        let bump key d =
+          Hashtbl.replace begins key (d + Option.value ~default:0 (Hashtbl.find_opt begins key))
+        in
+        let check ev =
+          let str name = Option.bind (Json.member name ev) Json.to_string in
+          let num name = Option.bind (Json.member name ev) Json.to_float in
+          match (str "ph", str "name", num "ts", num "tid") with
+          | Some "X", Some _, Some _, _ ->
+              if num "dur" = None then Error "X event without dur" else Ok ()
+          | Some "B", Some name, Some _, Some tid ->
+              bump (name, tid) 1;
+              Ok ()
+          | Some "E", Some name, Some _, Some tid ->
+              bump (name, tid) (-1);
+              Ok ()
+          | Some ("M" | "I" | "C"), _, _, _ -> Ok ()
+          | Some ph, _, _, _ -> Error (Printf.sprintf "unsupported event ph %S" ph)
+          | None, _, _, _ -> Error "event without ph"
+        in
+        let rec go = function
+          | [] ->
+              if Hashtbl.fold (fun _ d acc -> acc || d <> 0) begins false then
+                Error "unmatched B/E events"
+              else Ok (Printf.sprintf "trace with %d events" (List.length events))
+          | ev :: rest -> ( match check ev with Ok () -> go rest | Error _ as e -> e)
+        in
+        go events
+  end
+  else
+    match Json.member "counters" json with
+    | Some _ ->
+        let count section =
+          match Json.member section json with Some (Json.Obj kvs) -> List.length kvs | _ -> 0
+        in
+        Ok
+          (Printf.sprintf "metrics snapshot with %d counters, %d fcounters, %d gauges, %d histograms"
+             (count "counters") (count "fcounters") (count "gauges") (count "histograms"))
+    | None -> Ok "well-formed JSON (unrecognized schema)"
+
+let validate_file path =
+  match Json.parse_file path with
+  | Error msg -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg)
+  | Ok json -> (
+      match validate_json json with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok summary -> Ok summary)
+
+(** Pretty-print a metrics snapshot or summarize a trace file. *)
+let summarize_file path =
+  match Json.parse_file path with
+  | Error msg -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg)
+  | Ok json ->
+      let buf = Buffer.create 1024 in
+      if is_trace json then begin
+        let events =
+          Option.value ~default:[] (Option.bind (Json.member "traceEvents" json) Json.to_list)
+        in
+        let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+        List.iter
+          (fun ev ->
+            match
+              ( Option.bind (Json.member "name" ev) Json.to_string,
+                Option.bind (Json.member "dur" ev) Json.to_float )
+            with
+            | Some name, Some dur ->
+                let count, total =
+                  match Hashtbl.find_opt tbl name with
+                  | Some cell -> cell
+                  | None ->
+                      let cell = (ref 0, ref 0.0) in
+                      Hashtbl.add tbl name cell;
+                      cell
+                in
+                incr count;
+                total := !total +. dur
+            | _ -> ())
+          events;
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %d span events (open in chrome://tracing or ui.perfetto.dev)\n"
+             path (List.length events));
+        let rows =
+          Hashtbl.fold (fun name (c, t) acc -> (name, !c, !t /. 1e6) :: acc) tbl []
+          |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+          |> List.filteri (fun i _ -> i < 15)
+        in
+        buf_table buf
+          ([ "span"; "count"; "total s" ]
+          :: List.map
+               (fun (name, c, t) -> [ name; string_of_int c; Printf.sprintf "%.3f" t ])
+               rows)
+      end
+      else begin
+        let section title kind render =
+          match Json.member kind json with
+          | Some (Json.Obj kvs) when kvs <> [] ->
+              Buffer.add_string buf (title ^ ":\n");
+              List.iter
+                (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-48s %s\n" k (render v)))
+                kvs
+          | _ -> ()
+        in
+        let scalar = function
+          | Json.Num f -> if Float.is_integer f then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
+          | _ -> "?"
+        in
+        let hist = function
+          | Json.Obj _ as h -> (
+              match
+                ( Option.bind (Json.member "count" h) Json.to_float,
+                  Option.bind (Json.member "sum" h) Json.to_float )
+              with
+              | Some c, Some s -> Printf.sprintf "count=%.0f sum=%g" c s
+              | _ -> "?")
+          | _ -> "?"
+        in
+        Buffer.add_string buf (Printf.sprintf "%s: metrics snapshot\n" path);
+        section "counters" "counters" scalar;
+        section "fcounters" "fcounters" scalar;
+        section "gauges" "gauges" scalar;
+        section "histograms" "histograms" hist
+      end;
+      Ok (Buffer.contents buf)

@@ -29,49 +29,95 @@
 (* Instrumentation                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Pool telemetry lives in the {!Liger_obs.Metrics} registry (disabled by
+   default; one branch per event when off):
+
+     parallel.tasks                  tasks executed
+     parallel.batches                map/filter_map calls
+     parallel.wall_seconds           wall time inside map calls
+     parallel.busy_seconds{domain=i} per-lane time spent running tasks
+
+   Slot 0 is the submitting (caller) domain; slots 1..size are workers. *)
+
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+
+(* Each domain accounts its busy time once, at the outermost timing point:
+   a nested map (sequential fallback in a worker, or a nested parallel call
+   from the caller's lane) runs inside its enclosure's interval and must not
+   be credited again, or per-domain busy time would exceed wall x lanes. *)
+let accounting_key = Domain.DLS.new_key (fun () -> ref false)
+
+let add_busy dt =
+  Liger_obs.Metrics.fadd "parallel.busy_seconds"
+    ~labels:[ ("domain", string_of_int (Domain.DLS.get slot_key)) ]
+    dt
+
+let timed_busy f =
+  if not (Liger_obs.Metrics.enabled ()) then f ()
+  else begin
+    let accounting = Domain.DLS.get accounting_key in
+    if !accounting then f ()
+    else begin
+      accounting := true;
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          accounting := false;
+          add_busy (Unix.gettimeofday () -. t0))
+        f
+    end
+  end
+
+let record_batch ~n ~wall_dt =
+  if Liger_obs.Metrics.enabled () then begin
+    Liger_obs.Metrics.add "parallel.tasks" n;
+    Liger_obs.Metrics.incr "parallel.batches";
+    Liger_obs.Metrics.fadd "parallel.wall_seconds" wall_dt
+  end
+
+(** Compatibility view over the registry entries above.  Callers that want
+    the raw metrics (the bench harness, [liger stats]) should read
+    {!Liger_obs.Metrics.snapshot} directly. *)
 module Stats = struct
-  (* Slot 0 is the submitting (caller) domain; slots 1..size are workers. *)
   type snapshot = {
-    tasks : int;           (* tasks executed since the last reset *)
-    batches : int;         (* map/filter_map calls *)
-    wall_seconds : float;  (* total wall time spent inside map calls *)
-    busy_seconds : float array;  (* per-domain time spent running tasks *)
+    tasks : int;
+    batches : int;
+    wall_seconds : float;
+    busy_seconds : float array;  (* indexed by slot; 0 = caller *)
   }
 
-  let mutex = Mutex.create ()
-  let tasks = ref 0
-  let batches = ref 0
-  let wall = ref 0.0
-  let busy : (int, float) Hashtbl.t = Hashtbl.create 8
+  (* recording requires [Liger_obs.Metrics.enable ()] *)
+  let reset () = Liger_obs.Metrics.reset_prefix "parallel."
 
-  let add_busy slot dt =
-    Mutex.lock mutex;
-    Hashtbl.replace busy slot (dt +. Option.value ~default:0.0 (Hashtbl.find_opt busy slot));
-    Mutex.unlock mutex
-
-  let record ~n ~wall_dt =
-    Mutex.lock mutex;
-    tasks := !tasks + n;
-    incr batches;
-    wall := !wall +. wall_dt;
-    Mutex.unlock mutex
-
-  let reset () =
-    Mutex.lock mutex;
-    tasks := 0;
-    batches := 0;
-    wall := 0.0;
-    Hashtbl.reset busy;
-    Mutex.unlock mutex
+  let busy_of_snapshot snap =
+    let entries = Liger_obs.Metrics.entries_with snap "parallel.busy_seconds" in
+    let slot_of (e : Liger_obs.Metrics.entry) =
+      match e.Liger_obs.Metrics.e_labels with
+      | [ ("domain", s) ] -> int_of_string_opt s
+      | _ -> None
+    in
+    let slots =
+      List.fold_left
+        (fun acc e -> match slot_of e with Some s -> max acc (s + 1) | None -> acc)
+        0 entries
+    in
+    let arr = Array.make slots 0.0 in
+    List.iter
+      (fun (e : Liger_obs.Metrics.entry) ->
+        match (slot_of e, e.Liger_obs.Metrics.e_value) with
+        | Some s, Liger_obs.Metrics.F x -> arr.(s) <- x
+        | _ -> ())
+      entries;
+    arr
 
   let snapshot () =
-    Mutex.lock mutex;
-    let slots = Hashtbl.fold (fun k _ acc -> max acc (k + 1)) busy 0 in
-    let arr = Array.make slots 0.0 in
-    Hashtbl.iter (fun k v -> arr.(k) <- v) busy;
-    let s = { tasks = !tasks; batches = !batches; wall_seconds = !wall; busy_seconds = arr } in
-    Mutex.unlock mutex;
-    s
+    let snap = Liger_obs.Metrics.snapshot () in
+    {
+      tasks = Liger_obs.Metrics.counter_value snap "parallel.tasks";
+      batches = Liger_obs.Metrics.counter_value snap "parallel.batches";
+      wall_seconds = Liger_obs.Metrics.fcounter_value snap "parallel.wall_seconds";
+      busy_seconds = busy_of_snapshot snap;
+    }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +153,7 @@ let the_pool : pool option ref = ref None
 
 let worker_loop pool slot =
   Domain.DLS.set in_worker_key true;
+  Domain.DLS.set slot_key slot;
   let rec loop () =
     Mutex.lock pool.mutex;
     while Queue.is_empty pool.queue && not pool.stop do
@@ -116,9 +163,7 @@ let worker_loop pool slot =
     else begin
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
-      let t0 = Unix.gettimeofday () in
-      (try task () with _ -> () (* batch shares record their own errors *));
-      Stats.add_busy slot (Unix.gettimeofday () -. t0);
+      (try timed_busy task with _ -> () (* batch shares record their own errors *));
       loop ()
     end
   in
@@ -225,10 +270,8 @@ let drain batch =
 
 let sequential_map f arr =
   let t0 = Unix.gettimeofday () in
-  let r = Array.map f arr in
-  let dt = Unix.gettimeofday () -. t0 in
-  Stats.record ~n:(Array.length arr) ~wall_dt:dt;
-  Stats.add_busy 0 dt;
+  let r = timed_busy (fun () -> Array.map f arr) in
+  record_batch ~n:(Array.length arr) ~wall_dt:(Unix.gettimeofday () -. t0);
   r
 
 (** [map f arr] applies [f] to every element, on up to [jobs] domains, and
@@ -270,15 +313,13 @@ let map (f : 'a -> 'b) (arr : 'a array) : 'b array =
     Condition.broadcast pool.work_available;
     Mutex.unlock pool.mutex;
     (* the caller is a participant too *)
-    let caller_t0 = Unix.gettimeofday () in
-    ignore (drain batch);
-    Stats.add_busy 0 (Unix.gettimeofday () -. caller_t0);
+    timed_busy (fun () -> ignore (drain batch));
     Mutex.lock batch.done_mutex;
     while batch.completed < batch.n do
       Condition.wait batch.done_cond batch.done_mutex
     done;
     Mutex.unlock batch.done_mutex;
-    Stats.record ~n ~wall_dt:(Unix.gettimeofday () -. t0);
+    record_batch ~n ~wall_dt:(Unix.gettimeofday () -. t0);
     (match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

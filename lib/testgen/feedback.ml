@@ -11,6 +11,7 @@
 open Liger_lang
 open Liger_trace
 open Liger_symexec
+module Obs = Liger_obs.Obs
 
 type budget = {
   max_attempts : int;       (* total executions allowed (Randoop's timeout) *)
@@ -69,27 +70,36 @@ let generate ?(budget = default_budget) rng (meth : Ast.meth) : result =
   in
   (* phase 1: directed inputs from symbolic execution *)
   let directed =
-    Symexec.generate_inputs
-      ~config:{ Symexec.max_paths = 48; max_steps = 400 }
-      rng meth
+    Obs.Span.with_ ~name:"testgen.symexec" (fun () ->
+        Symexec.generate_inputs
+          ~config:{ Symexec.max_paths = 48; max_steps = 400 }
+          rng meth)
   in
-  List.iter
-    (fun args -> if !n_attempts < budget.max_attempts then consider args)
-    directed;
-  (* phase 2: random generation until the budget or the targets are hit *)
-  while
-    !n_attempts < budget.max_attempts
-    && not (Hashtbl.length groups >= budget.target_paths
-            && full_groups () >= min budget.target_paths (Hashtbl.length groups))
-  do
-    consider (Randgen.args ~pool rng meth)
-  done;
+  Obs.Span.with_ ~name:"testgen.exec" (fun () ->
+      List.iter
+        (fun args -> if !n_attempts < budget.max_attempts then consider args)
+        directed;
+      (* phase 2: random generation until the budget or the targets are hit *)
+      while
+        !n_attempts < budget.max_attempts
+        && not (Hashtbl.length groups >= budget.target_paths
+                && full_groups () >= min budget.target_paths (Hashtbl.length groups))
+      do
+        consider (Randgen.args ~pool rng meth)
+      done);
+  let gave_up = Hashtbl.length groups = 0 in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add "testgen.attempts" !n_attempts;
+    Obs.Metrics.add "testgen.crashes" !n_crashes;
+    Obs.Metrics.add "testgen.timeouts" !n_timeouts;
+    if gave_up then Obs.Metrics.incr "testgen.gave_up"
+  end;
   {
     traces = List.rev !kept;
     n_attempts = !n_attempts;
     n_crashes = !n_crashes;
     n_timeouts = !n_timeouts;
-    gave_up = Hashtbl.length groups = 0;
+    gave_up;
   }
 
 (** Blended traces straight from a generation result. *)

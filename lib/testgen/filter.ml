@@ -18,6 +18,7 @@
 
 open Liger_lang
 open Liger_analysis
+module Obs = Liger_obs.Obs
 
 type reason =
   | No_compile        (* typechecker rejects *)
@@ -53,9 +54,10 @@ let min_statements = 3
 (** Classify one candidate, running test generation only if the static gates
     pass (the cheap checks run first, as in the paper's pipeline). *)
 let classify ?budget rng (c : candidate) : verdict =
-  if not (Typecheck.is_well_typed c.meth) then Dropped No_compile
+  if not (Obs.Span.with_ ~name:"filter.typecheck" (fun () -> Typecheck.is_well_typed c.meth))
+  then Dropped No_compile
   else
-    let lint = Lint.check c.meth in
+    let lint = Obs.Span.with_ ~name:"filter.lint" (fun () -> Lint.check c.meth) in
     (* nonterm before unreachable: an endless loop also makes its
        continuation unreachable, and the loop is the sharper diagnosis *)
     if lint.Lint.uninit_uses <> [] then Dropped Uninit_use
@@ -64,7 +66,11 @@ let classify ?budget rng (c : candidate) : verdict =
     else if c.uses_external then Dropped External_deps
     else if Ast.stmt_count c.meth < min_statements then Dropped Too_small
     else
-    let r = Feedback.generate ?budget rng c.meth in
+    let r =
+      Obs.Span.with_ ~name:"filter.testgen"
+        ~args:(fun () -> [ ("method", c.meth.Ast.mname) ])
+        (fun () -> Feedback.generate ?budget rng c.meth)
+    in
     if r.Feedback.gave_up then Dropped Testgen_timeout else Kept r
 
 type stats = {
@@ -89,8 +95,11 @@ let run ?budget rng (candidates : candidate list) =
   List.iter
     (fun (c, verdict) ->
       match verdict with
-      | Kept r -> kept := (c.meth, r) :: !kept
+      | Kept r ->
+          Obs.Metrics.incr "filter.kept";
+          kept := (c.meth, r) :: !kept
       | Dropped reason ->
+          Obs.Metrics.incr "filter.dropped" ~labels:[ ("reason", reason_to_string reason) ];
           Hashtbl.replace tally reason
             (1 + Option.value ~default:0 (Hashtbl.find_opt tally reason)))
     verdicts;

@@ -96,6 +96,7 @@ let value_tokens cfg v =
     encode (slice pruning passes the return-value-slice membership test;
     default keeps everything). *)
 let state_tokens ?(keep = fun _ -> true) cfg (env : (string * Value.t option) list) =
+  Liger_obs.Metrics.incr "encode.states";
   List.filter_map
     (fun (x, v) -> if keep x then Some ("var_" ^ x, value_tokens cfg v) else None)
     env
@@ -177,6 +178,7 @@ let register_tree vocab tree = List.iter (fun tok -> ignore (Vocab.id vocab tok)
 (** Register every token a blended trace can produce, so a training pass
     builds the complete vocabulary before freezing. *)
 let register_blended cfg vocab (b : Blended.t) =
+  Liger_obs.Metrics.incr "encode.blended_registered";
   List.iter
     (fun (step : Blended.step) ->
       register_tree vocab (stmt_tree ?branch:step.Blended.branch step.Blended.stmt);

@@ -18,6 +18,15 @@ dune exec --no-build bench/main.exe -- --jobs 2 > /dev/null
 test -f BENCH_parallel.json
 echo "   ok: BENCH_parallel.json written"
 
+echo "== observability smoke: trace + metrics out, then validate both"
+LIGER_TRACE_OUT=obs_trace.json LIGER_METRICS_OUT=obs_metrics.json LIGER_JOBS=2 \
+  dune exec --no-build bin/liger_cli.exe -- dataset -n 40 > /dev/null
+test -f obs_trace.json
+test -f obs_metrics.json
+dune exec --no-build bin/liger_cli.exe -- stats --validate obs_trace.json
+dune exec --no-build bin/liger_cli.exe -- stats --validate obs_metrics.json
+echo "   ok: obs_trace.json and obs_metrics.json validate"
+
 echo "== liger analyze (clean examples, strict)"
 for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do
   dune exec --no-build bin/liger_cli.exe -- analyze "$f" --strict > /dev/null

@@ -43,6 +43,9 @@ let test_nested_map () =
 
 let test_exception_propagation_and_reuse () =
   Parallel.set_jobs 4;
+  (* pool telemetry lives in the metrics registry and records only while the
+     registry is enabled *)
+  Liger_obs.Metrics.enable ();
   Parallel.Stats.reset ();
   (match Parallel.map_list (fun x -> if x = 7 then failwith "boom" else x) (List.init 20 Fun.id) with
   | _ -> Alcotest.fail "expected the task failure to re-raise"
@@ -56,6 +59,7 @@ let test_exception_propagation_and_reuse () =
 
 let test_stats_counts () =
   Parallel.set_jobs 3;
+  Liger_obs.Metrics.enable ();
   Parallel.Stats.reset ();
   ignore (Parallel.map (fun x -> x) (Array.init 10 Fun.id));
   ignore (Parallel.map (fun x -> x) (Array.init 5 Fun.id));
@@ -63,6 +67,41 @@ let test_stats_counts () =
   Alcotest.(check int) "tasks accumulate" 15 s.Parallel.Stats.tasks;
   Alcotest.(check int) "batches accumulate" 2 s.Parallel.Stats.batches;
   Alcotest.(check bool) "wall time recorded" true (s.Parallel.Stats.wall_seconds >= 0.0)
+
+let spin_for seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ignore (Sys.opaque_identity (sin 1.0))
+  done
+
+(* Regression for the busy-time double count: a nested map (the sequential
+   fallback inside a worker, or a nested parallel call on the caller's lane)
+   runs inside its enclosure's timed interval and must not be credited
+   again — per-lane busy time can never exceed the batch wall time. *)
+let test_busy_accounting_bounded () =
+  Parallel.set_jobs 3;
+  Liger_obs.Metrics.enable ();
+  Parallel.Stats.reset ();
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Parallel.map_list
+       (fun _ -> Parallel.map_list (fun _ -> spin_for 0.004) [ 0; 1; 2 ])
+       (List.init 9 Fun.id));
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Parallel.Stats.snapshot () in
+  let total_busy = Array.fold_left ( +. ) 0.0 s.Parallel.Stats.busy_seconds in
+  Alcotest.(check bool) "work was recorded" true (total_busy > 0.0);
+  Array.iteri
+    (fun i busy ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lane %d busy (%.3fs) within wall (%.3fs)" i busy wall)
+        true
+        (busy <= wall +. 0.05))
+    s.Parallel.Stats.busy_seconds;
+  Alcotest.(check bool)
+    (Printf.sprintf "total busy (%.3fs) within wall x lanes (%.3fs)" total_busy (3.0 *. wall))
+    true
+    (total_busy <= (3.0 *. wall) +. 0.15)
 
 let test_set_jobs_invalid () =
   Alcotest.check_raises "zero jobs rejected"
@@ -306,6 +345,8 @@ let () =
           Alcotest.test_case "exceptions propagate, pool survives" `Quick
             test_exception_propagation_and_reuse;
           Alcotest.test_case "stats accumulate" `Quick test_stats_counts;
+          Alcotest.test_case "busy time bounded by wall time" `Quick
+            test_busy_accounting_bounded;
           Alcotest.test_case "set_jobs validates" `Quick test_set_jobs_invalid;
           Alcotest.test_case "map_rng jobs-independent" `Quick test_map_rng_jobs_independent;
         ] );
