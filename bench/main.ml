@@ -35,6 +35,7 @@ open Liger_tensor
 open Liger_core
 open Liger_eval
 module Obs = Liger_obs.Obs
+module B = Liger_obs.Bench_store
 
 let say fmt = Printf.printf fmt
 
@@ -222,7 +223,14 @@ let run_parallel_bench ~jobs =
   let open Liger_parallel in
   say "\nParallel corpus generation: 1 domain vs %d domains\n" jobs;
   say "%s\n%!" (String.make 72 '-');
-  let n_methods = match Sys.getenv_opt "LIGER_SCALE" with Some "full" -> 300 | _ -> 120 in
+  let n_methods =
+    match Sys.getenv_opt "LIGER_BENCH_N" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | _ -> invalid_arg (Printf.sprintf "LIGER_BENCH_N must be a positive integer, got %S" s))
+    | None -> ( match Sys.getenv_opt "LIGER_SCALE" with Some "full" -> 300 | _ -> 120)
+  in
   let enc =
     { Common.default_enc_config with Common.max_paths = 4; max_concrete = 3; max_steps = 16 }
   in
@@ -274,6 +282,15 @@ let run_parallel_bench ~jobs =
   say "%s\n%!" (String.make 72 '-');
   if not deterministic then
     prerr_endline "WARNING: parallel corpus differs from sequential corpus";
+  if jobs > 1 && speedup < 1.0 then
+    Printf.eprintf
+      "WARNING: parallel corpus generation is SLOWER than sequential (%.2fx \
+       speedup with %d jobs on %d available core(s)); see DESIGN.md on \
+       oversubscription\n%!"
+      speedup jobs
+      (Domain.recommended_domain_count ());
+  let rev = B.git_rev () in
+  let date = B.iso8601 (Unix.gettimeofday ()) in
   let oc = open_out "BENCH_parallel.json" in
   let busy =
     busy_seconds |> Array.to_list
@@ -283,6 +300,8 @@ let run_parallel_bench ~jobs =
   Printf.fprintf oc
     {|{
   "benchmark": "%s",
+  "rev": "%s",
+  "date": "%s",
   "methods": %d,
   "jobs": %d,
   "seq_seconds": %.6f,
@@ -299,12 +318,81 @@ let run_parallel_bench ~jobs =
 }
 |}
     (json_escape "corpus-generation (build_naming: testgen + filter + trace + encode)")
-    n_methods jobs seq_dt par_dt speedup
+    (json_escape rev) (json_escape date) n_methods jobs seq_dt par_dt speedup
     (float_of_int n_methods /. seq_dt)
     (float_of_int n_methods /. par_dt)
     deterministic pool_tasks pool_batches pool_wall utilization busy;
   close_out oc;
-  say "wrote BENCH_parallel.json\n%!"
+  say "wrote BENCH_parallel.json\n%!";
+  {
+    B.benchmark = "parallel-corpus";
+    rev;
+    date;
+    jobs;
+    metrics =
+      [
+        ("methods", float_of_int n_methods);
+        ("seq_seconds", seq_dt);
+        ("par_seconds", par_dt);
+        ("speedup", speedup);
+        ("seq_methods_per_second", float_of_int n_methods /. seq_dt);
+        ("par_methods_per_second", float_of_int n_methods /. par_dt);
+        ("pool_utilization", utilization);
+        ("deterministic", if deterministic then 1.0 else 0.0);
+      ];
+  }
+
+(* --check-regression: compare the fresh record against the most recent
+   history record with the same benchmark and job count.  Two gates:
+   speedup below 1 with jobs > 1 (parallelism actively hurting — on a
+   single-core host the bench runs with jobs=1 and this gate is moot), and
+   parallel throughput dropping by more than LIGER_REGRESSION_THRESHOLD
+   (default 0.3, i.e. 30%) versus the previous run. *)
+
+let regression_threshold () =
+  match Sys.getenv_opt "LIGER_REGRESSION_THRESHOLD" with
+  | None -> 0.3
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> f
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "LIGER_REGRESSION_THRESHOLD must be a positive float, got %S" s))
+
+let regression_failures ~history (r : B.record) =
+  let failures = ref [] in
+  let speedup = try List.assoc "speedup" r.B.metrics with Not_found -> 1.0 in
+  if r.B.jobs > 1 && speedup < 1.0 then
+    failures :=
+      Printf.sprintf "speedup %.2fx < 1.00x with %d jobs (parallelism is hurting)" speedup
+        r.B.jobs
+      :: !failures;
+  (match history with
+  | Some path when Sys.file_exists path -> (
+      match B.load path with
+      | Error msg -> Printf.eprintf "warning: cannot read %s for regression check: %s\n" path msg
+      | Ok records -> (
+          match B.last_matching ~jobs:r.B.jobs ~benchmark:r.B.benchmark records with
+          | None -> ()
+          | Some prev -> (
+              match
+                ( List.assoc_opt "par_methods_per_second" prev.B.metrics,
+                  List.assoc_opt "par_methods_per_second" r.B.metrics )
+              with
+              | Some before, Some after when before > 0.0 ->
+                  let drop = (before -. after) /. before in
+                  let threshold = regression_threshold () in
+                  if drop > threshold then
+                    failures :=
+                      Printf.sprintf
+                        "par_methods_per_second dropped %.0f%% vs %s@%s (%.2f -> %.2f, \
+                         threshold %.0f%%)"
+                        (100.0 *. drop) prev.B.date prev.B.rev before after
+                        (100.0 *. threshold)
+                      :: !failures
+              | _ -> ())))
+  | _ -> ());
+  List.rev !failures
 
 (* ------------------------------------------------------------------ *)
 (* Argument parsing: unknown or contradictory flags are an error        *)
@@ -313,13 +401,19 @@ let run_parallel_bench ~jobs =
 let usage () =
   prerr_endline
     "usage: bench/main.exe [--no-micro | --micro-only] [--jobs N] [--trace FILE] \
-     [--metrics-out FILE]";
+     [--metrics-out FILE] [--profile] [--history FILE] [--check-regression]";
   prerr_endline "  --no-micro        run the experiments without the Bechamel microbenches";
   prerr_endline "  --micro-only      run only the Bechamel microbenches";
   prerr_endline "  --jobs N          run the parallel corpus-generation benchmark on N domains";
   prerr_endline "                    (alone: only that benchmark; with other flags: those too)";
   prerr_endline "  --trace FILE      write a Chrome trace_event JSON (chrome://tracing / Perfetto)";
   prerr_endline "  --metrics-out FILE  write a metrics snapshot JSON on exit";
+  prerr_endline "  --profile         enable the model profiler (per-op FLOPs, per-layer timings)";
+  prerr_endline "  --history FILE    append the parallel benchmark's record to a JSONL history";
+  prerr_endline "                    (diff runs with 'liger stats --diff FILE')";
+  prerr_endline "  --check-regression  exit 1 if the parallel benchmark regressed (speedup < 1";
+  prerr_endline "                    with jobs > 1, or throughput down > LIGER_REGRESSION_THRESHOLD";
+  prerr_endline "                    vs the previous matching history record; default 0.3)";
   exit 2
 
 type opts = {
@@ -328,6 +422,9 @@ type opts = {
   jobs : int option;
   trace_out : string option;
   metrics_out : string option;
+  profile : bool;
+  history : string option;
+  check_regression : bool;
 }
 
 let () =
@@ -343,7 +440,10 @@ let () =
             usage ())
     | "--trace" :: path :: rest -> parse { o with trace_out = Some path } rest
     | "--metrics-out" :: path :: rest -> parse { o with metrics_out = Some path } rest
-    | [ (("--jobs" | "--trace" | "--metrics-out") as flag) ] ->
+    | "--profile" :: rest -> parse { o with profile = true } rest
+    | "--history" :: path :: rest -> parse { o with history = Some path } rest
+    | "--check-regression" :: rest -> parse { o with check_regression = true } rest
+    | [ (("--jobs" | "--trace" | "--metrics-out" | "--history") as flag) ] ->
         Printf.eprintf "error: %s expects an argument\n" flag;
         usage ()
     | arg :: _ ->
@@ -353,7 +453,7 @@ let () =
   let o =
     parse
       { no_micro = false; micro_only = false; jobs = None; trace_out = None;
-        metrics_out = None }
+        metrics_out = None; profile = false; history = None; check_regression = false }
       (List.tl (Array.to_list Sys.argv))
   in
   if o.no_micro && o.micro_only then begin
@@ -361,11 +461,31 @@ let () =
     usage ()
   end;
   Obs.init_logging ();
-  Obs.init ?metrics_out:o.metrics_out ?trace_out:o.trace_out ();
+  Obs.init ?metrics_out:o.metrics_out ?trace_out:o.trace_out ~profile:o.profile ();
   (match o.jobs with Some n -> Liger_parallel.Parallel.set_jobs n | None -> ());
   (* --jobs alone means: only the parallel benchmark *)
   let only_parbench = o.jobs <> None && (not o.no_micro) && not o.micro_only in
   if (not o.micro_only) && not only_parbench then run_experiments ();
   if (not o.no_micro) && not only_parbench then run_micro ();
-  (match o.jobs with Some n -> run_parallel_bench ~jobs:n | None -> ());
-  Obs.print_report ()
+  let failures =
+    match o.jobs with
+    | None -> []
+    | Some n ->
+        let record = run_parallel_bench ~jobs:n in
+        (* gate against the PREVIOUS matching record, then append this run *)
+        let failures =
+          if o.check_regression then regression_failures ~history:o.history record else []
+        in
+        (match o.history with
+        | Some path ->
+            B.append ~path record;
+            say "benchmark record appended to %s\n%!" path
+        | None -> ());
+        failures
+  in
+  Obs.print_report ();
+  if failures <> [] then begin
+    prerr_endline "REGRESSION CHECK FAILED:";
+    List.iter (fun f -> Printf.eprintf "  - %s\n" f) failures;
+    exit 1
+  end

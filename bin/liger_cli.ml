@@ -41,8 +41,16 @@ let obs_term =
              ~doc:"Write a Chrome trace_event JSON to $(docv) on exit (open in \
                    chrome://tracing or ui.perfetto.dev).")
   in
-  let setup metrics_out trace_out = Obs.init ?metrics_out ?trace_out () in
-  Term.(const setup $ metrics_out $ trace_out)
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Enable the model profiler: per-op FLOP/byte counters, \
+                   per-layer forward/backward timings and tensor-memory peak \
+                   (implies metrics; also LIGER_PROFILE=1).  The end-of-run \
+                   report gains per-layer and per-op tables.")
+  in
+  let setup metrics_out trace_out profile = Obs.init ?metrics_out ?trace_out ~profile () in
+  Term.(const setup $ metrics_out $ trace_out $ profile)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -234,7 +242,7 @@ let load_model dir =
 (* ---------------- train ---------------- *)
 
 let train_cmd =
-  let run () model_name n epochs dim seed save =
+  let run () model_name n epochs dim seed save history_path =
     let rng = Rng.create seed in
     Printf.printf "building corpus (n=%d)...\n%!" n;
     let corpus = Pipeline.build_naming rng ~name:"cli" ~n in
@@ -270,6 +278,31 @@ let train_cmd =
     let r = Train.eval_naming wrapper corpus.Pipeline.test in
     Fmt.pr "test: %a@." Metrics.pp_prf r.Train.prf;
     Obs.print_report ();
+    (match history_path with
+    | None -> ()
+    | Some path ->
+        let module B = Liger_obs.Bench_store in
+        let wall = List.fold_left ( +. ) 0.0 history.Train.epoch_times in
+        let eps =
+          if wall > 0.0 then float_of_int (n_train * epochs) /. wall else 0.0
+        in
+        let record =
+          {
+            B.benchmark = "train." ^ wrapper.Train.name;
+            rev = B.git_rev ();
+            date = B.iso8601 (Unix.gettimeofday ());
+            jobs = Liger_parallel.Parallel.jobs ();
+            metrics =
+              [
+                ("train_seconds", wall);
+                ("epochs", float_of_int epochs);
+                ("examples_per_second", eps);
+                ("test_f1", r.Train.prf.Metrics.f1);
+              ];
+          }
+        in
+        B.append ~path record;
+        Printf.printf "benchmark record appended to %s\n" path);
     match (save, liger_model) with
     | Some dir, Some m ->
         save_model dir m corpus.Pipeline.vocab;
@@ -289,9 +322,16 @@ let train_cmd =
     Arg.(value & opt (some string) None
          & info [ "save" ] ~doc:"Directory to save the trained model (liger only).")
   in
+  let history =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Append a benchmark record (git rev, date, jobs, wall time, \
+                   throughput, test score) to the JSONL history $(docv); diff \
+                   runs with $(b,liger stats --diff).")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a model on a generated corpus")
-    Term.(const run $ obs_term $ model $ n $ epochs $ dim $ seed $ save)
+    Term.(const run $ obs_term $ model $ n $ epochs $ dim $ seed $ save $ history)
 
 (* ---------------- predict ---------------- *)
 
@@ -396,31 +436,61 @@ let experiments_cmd =
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
-  let run file validate =
-    if validate then
+  let run file file2 validate diff threshold =
+    let fail msg =
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    in
+    if diff || file2 <> None then begin
+      let result =
+        match file2 with
+        | Some b -> Obs.diff_files ?threshold file b
+        | None -> Obs.diff_history ?threshold file
+      in
+      match result with Ok text -> print_string text | Error msg -> fail msg
+    end
+    else if validate then
       match Obs.validate_file file with
       | Ok summary -> Printf.printf "%s: OK (%s)\n" file summary
-      | Error msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 1
+      | Error msg -> fail msg
     else
       match Obs.summarize_file file with
       | Ok text -> print_string text
-      | Error msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 1
+      | Error msg -> fail msg
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let file2 =
+    Arg.(value & pos 1 (some file) None
+         & info [] ~docv:"FILE2"
+             ~doc:"Second file for $(b,--diff); omit to diff the last two \
+                   records of a JSONL history.")
+  in
   let validate =
     Arg.(value & flag
          & info [ "validate" ]
              ~doc:"Check structure only (trace events matched, metrics sections \
-                   present); exit non-zero on malformed input.")
+                   present, profile counters consistent); exit non-zero on \
+                   malformed input.")
+  in
+  let diff =
+    Arg.(value & flag
+         & info [ "diff" ]
+             ~doc:"Compare two snapshots (metrics JSON, flat bench JSON, or \
+                   JSONL history) and print a delta table; with a single JSONL \
+                   history, compares its last two records.  Rows whose relative \
+                   change exceeds the threshold are flagged with '!'.")
+  in
+  let threshold =
+    Arg.(value & opt (some float) None
+         & info [ "threshold" ] ~docv:"FRAC"
+             ~doc:"Relative-change flagging threshold for $(b,--diff) \
+                   (default 0.1).")
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Summarize or validate a telemetry file (metrics snapshot or Chrome trace)")
-    Term.(const run $ file $ validate)
+       ~doc:"Summarize, validate or diff telemetry files (metrics snapshots, \
+             Chrome traces, benchmark histories)")
+    Term.(const run $ file $ file2 $ validate $ diff $ threshold)
 
 let () =
   Obs.init_logging ();

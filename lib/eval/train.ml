@@ -149,6 +149,31 @@ let fit ?(options = default_options) rng model ~train ~valid =
     times := dt :: !times;
     Obs.Metrics.fadd "train.epoch_seconds" ~labels:[ ("model", model.name) ] dt;
     Obs.Metrics.gauge "train.loss" ~labels:[ ("model", model.name) ] mean_loss;
+    (* throughput gauges (latest epoch wins): examples/s, sub-tokens/s over
+       the naming labels, and a mean-epoch-time ETA for the remaining work *)
+    if Obs.Metrics.enabled () then begin
+      let labels = [ ("model", model.name) ] in
+      let n = Array.length examples in
+      (if dt > 0.0 then begin
+         let subtoks =
+           Array.fold_left
+             (fun acc (ex : Common.enc_example) ->
+               match ex.Common.label with
+               | Common.Name name -> acc + List.length (Liger_lang.Subtoken.split name)
+               | Common.Class _ -> acc)
+             0 examples
+         in
+         Obs.Metrics.gauge "train.examples_per_second" ~labels (float_of_int n /. dt);
+         Obs.Metrics.gauge "train.subtokens_per_second" ~labels
+           (float_of_int subtoks /. dt)
+       end);
+      let done_epochs = List.length !times in
+      let mean_epoch =
+        List.fold_left ( +. ) 0.0 !times /. float_of_int (max 1 done_epochs)
+      in
+      Obs.Metrics.gauge "train.eta_seconds" ~labels
+        (mean_epoch *. float_of_int (options.epochs - epoch))
+    end;
     if epoch mod options.eval_every = 0 || epoch = options.epochs then begin
       let v = if vacuous then 0.0 else score model valid in
       scores := v :: !scores;

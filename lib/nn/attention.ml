@@ -8,6 +8,9 @@
     inspects them to show the symbolic dimension receives ~0.6. *)
 
 open Liger_tensor
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "attention"
 
 type t = { proj : Linear.t; v : Param.t }
 
@@ -19,26 +22,43 @@ let create store name ~dim_h ~dim_q ~dim_att =
     v = Param.zeros store (name ^ ".v") 1 dim_att;
   }
 
-(** Raw attention score (1-dim node) of candidate [h] given context [q]. *)
-let score t tape ~q h =
+let score_impl t tape ~q h =
   Autodiff.matvec tape t.v (Linear.forward_tanh t.proj tape (Autodiff.concat tape [ h; q ]))
 
-(** Softmax-normalized weights over candidates (a vector node of length
-    [|hs|]). *)
-let weights t tape ~q hs =
+(** Raw attention score (1-dim node) of candidate [h] given context [q]. *)
+let score t tape ~q h =
+  if P.on () then P.with_layer layer (fun () -> score_impl t tape ~q h)
+  else score_impl t tape ~q h
+
+let weights_impl t tape ~q hs =
   let scores = Array.to_list (Array.map (score t tape ~q) hs) in
   Autodiff.softmax tape (Autodiff.concat tape scores)
 
+(** Softmax-normalized weights over candidates (a vector node of length
+    [|hs|]).  Profiled frames nest (weights > score); the profiler's
+    self-time column stays double-count-free. *)
+let weights t tape ~q hs =
+  if P.on () then P.with_layer layer (fun () -> weights_impl t tape ~q hs)
+  else weights_impl t tape ~q hs
+
+let fuse_impl t tape ~q hs =
+  let w = weights t tape ~q hs in
+  (w, Autodiff.weighted_sum tape w hs)
+
 (** Weighted sum of candidates; returns [(weights, fused)]. *)
 let fuse t tape ~q hs =
-  let w = weights t tape ~q hs in
+  if P.on () then P.with_layer layer (fun () -> fuse_impl t tape ~q hs)
+  else fuse_impl t tape ~q hs
+
+let fuse_uniform_impl tape hs =
+  let k = Array.length hs in
+  if k = 0 then invalid_arg "Attention.fuse_uniform: empty";
+  let w = Autodiff.const tape (Array.make k (1.0 /. float_of_int k)) in
   (w, Autodiff.weighted_sum tape w hs)
 
 (** Fixed uniform fusion — the "remove attention" ablation (§6.3.3), which
     "evenly distribute[s] the weights across all traces in a blended
     trace". *)
 let fuse_uniform tape hs =
-  let k = Array.length hs in
-  if k = 0 then invalid_arg "Attention.fuse_uniform: empty";
-  let w = Autodiff.const tape (Array.make k (1.0 /. float_of_int k)) in
-  (w, Autodiff.weighted_sum tape w hs)
+  if P.on () then P.with_layer layer (fun () -> fuse_uniform_impl tape hs)
+  else fuse_uniform_impl tape hs

@@ -11,6 +11,9 @@
 
 open Liger_tensor
 open Liger_trace
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "decoder"
 
 type t = {
   cell : Rnn_cell.t;
@@ -35,19 +38,27 @@ let create ?(kind = Rnn_cell.Gru) ?(max_len = 8) store name embedding ~dim_hidde
     max_len;
   }
 
-let init t tape ~program_embedding = Linear.forward_tanh t.bridge tape program_embedding
+let init_impl t tape ~program_embedding = Linear.forward_tanh t.bridge tape program_embedding
 
-let step t tape ~memory ~h ~prev_id =
+let init t tape ~program_embedding =
+  if P.on () then P.with_layer layer (fun () -> init_impl t tape ~program_embedding)
+  else init_impl t tape ~program_embedding
+
+let step_impl t tape ~memory ~h ~prev_id =
   let context = snd (Attention.fuse t.att tape ~q:h memory) in
   let x = Autodiff.concat tape [ Embedding_layer.embed_id t.embedding tape prev_id; context ] in
   let h' = Rnn_cell.step t.cell tape ~h ~x in
   let logits = Linear.forward t.out tape (Autodiff.concat tape [ h'; context ]) in
   (h', logits)
 
+let step t tape ~memory ~h ~prev_id =
+  if P.on () then P.with_layer layer (fun () -> step_impl t tape ~memory ~h ~prev_id)
+  else step_impl t tape ~memory ~h ~prev_id
+
 (** Teacher-forced negative log-likelihood of [target_ids] (without the
     terminating [eos], which is appended here).  Returns the summed loss
     node. *)
-let loss t tape ~memory ~program_embedding ~target_ids =
+let loss_impl t tape ~memory ~program_embedding ~target_ids =
   let targets = target_ids @ [ Vocab.eos_id ] in
   let h = ref (init t tape ~program_embedding) in
   let prev = ref Vocab.sos_id in
@@ -61,6 +72,11 @@ let loss t tape ~memory ~program_embedding ~target_ids =
       prev := target)
     targets;
   !total
+
+let loss t tape ~memory ~program_embedding ~target_ids =
+  if P.on () then
+    P.with_layer layer (fun () -> loss_impl t tape ~memory ~program_embedding ~target_ids)
+  else loss_impl t tape ~memory ~program_embedding ~target_ids
 
 (** Beam-search decoding with beam width [k]: keeps the [k] most probable
     partial sequences, scores by summed log-probability with a mild length

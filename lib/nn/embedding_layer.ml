@@ -6,6 +6,9 @@
 
 open Liger_tensor
 open Liger_trace
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "embedding"
 
 type t = { table : Param.t; vocab : Vocab.t; dim : int }
 
@@ -16,10 +19,14 @@ let create store name vocab ~dim =
 
 let dim t = t.dim
 
-(** Embedding of a token id. *)
-let embed_id t tape i =
+let embed_id_impl t tape i =
   let i = if i < 0 || i >= Param.rows t.table then Vocab.unk_id else i in
   Autodiff.row tape t.table i
+
+(** Embedding of a token id. *)
+let embed_id t tape i =
+  if P.on () then P.with_layer layer (fun () -> embed_id_impl t tape i)
+  else embed_id_impl t tape i
 
 (** Embedding of a token string (interned through the frozen vocabulary). *)
 let embed t tape tok = embed_id t tape (Vocab.id t.vocab tok)

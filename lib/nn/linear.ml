@@ -1,6 +1,9 @@
 (** Dense affine layers. *)
 
 open Liger_tensor
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "linear"
 
 type t = { w : Param.t; b : Param.t }
 
@@ -10,7 +13,11 @@ let create store name ~dim_in ~dim_out =
     b = Param.vector store (name ^ ".b") dim_out;
   }
 
-let forward t tape x = Autodiff.affine tape ~w:t.w ~b:t.b x
+(* profiling wrappers branch before building the closure, so the disabled
+   path is a direct call with no allocation *)
+let forward t tape x =
+  if P.on () then P.with_layer layer (fun () -> Autodiff.affine tape ~w:t.w ~b:t.b x)
+  else Autodiff.affine tape ~w:t.w ~b:t.b x
 
 let forward_tanh t tape x = Autodiff.tanh_ tape (forward t tape x)
 

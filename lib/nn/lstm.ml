@@ -2,6 +2,9 @@
     and as the sequential special case of the TreeLSTM). *)
 
 open Liger_tensor
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "lstm"
 
 type t = {
   gates : Linear.t;  (* [i; f; o; u] stacked: 4H x (in + H) *)
@@ -25,7 +28,7 @@ let create store name ~dim_in ~dim_hidden =
 let init_state t tape =
   { h = Autodiff.of_param tape t.h0; c = Autodiff.of_param tape t.c0 }
 
-let step t tape ~state ~x =
+let step_impl t tape ~state ~x =
   let d = t.dim_hidden in
   let xh = Autodiff.concat tape [ x; state.h ] in
   let pre = Linear.forward t.gates tape xh in
@@ -38,6 +41,10 @@ let step t tape ~state ~x =
   in
   let h = Autodiff.mul tape o (Autodiff.tanh_ tape c) in
   { h; c }
+
+let step t tape ~state ~x =
+  if P.on () then P.with_layer layer (fun () -> step_impl t tape ~state ~x)
+  else step_impl t tape ~state ~x
 
 let run t tape xs =
   let state = ref (init_state t tape) in

@@ -10,6 +10,9 @@
     decoder's attention needs them all). *)
 
 open Liger_tensor
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "rnn_cell"
 
 type kind = Vanilla | Gru
 
@@ -48,8 +51,7 @@ let dim_hidden t = t.dim_hidden
 (** The learned initial hidden state. *)
 let init_state t tape = Autodiff.of_param tape t.h0
 
-(** One recurrence step. *)
-let step t tape ~h ~x =
+let step_impl t tape ~h ~x =
   match t.spec with
   | Svanilla { wx; wh; b } ->
       Autodiff.tanh_ tape
@@ -68,6 +70,11 @@ let step t tape ~h ~x =
       Autodiff.add tape
         (Autodiff.mul tape (Autodiff.one_minus tape z) h)
         (Autodiff.mul tape z h_tilde)
+
+(** One recurrence step. *)
+let step t tape ~h ~x =
+  if P.on () then P.with_layer layer (fun () -> step_impl t tape ~h ~x)
+  else step_impl t tape ~h ~x
 
 (** Fold over a sequence of input nodes starting from the learned initial
     state; returns the hidden state after each input (length = |xs|). *)

@@ -18,6 +18,9 @@
 
 open Liger_tensor
 open Liger_trace
+module P = Liger_obs.Profile
+
+let layer = P.register_layer "treelstm"
 
 type t = {
   wx : Param.t;  (* 4H x in : [i; o; u; f] input contributions *)
@@ -37,7 +40,7 @@ let create store name ~dim_in ~dim_hidden =
   }
 
 (* (h, c) of one node given its label embedding and children states *)
-let node_state t tape x children =
+let node_state_impl t tape x children =
   let d = t.dim_hidden in
   let zeros = Autodiff.const tape (Array.make d 0.0) in
   let h_sum =
@@ -72,6 +75,10 @@ let node_state t tape x children =
   let c = Autodiff.add tape (Autodiff.mul tape i u) forget_term in
   let h = Autodiff.mul tape o (Autodiff.tanh_ tape c) in
   (h, c)
+
+let node_state t tape x children =
+  if P.on () then P.with_layer layer (fun () -> node_state_impl t tape x children)
+  else node_state_impl t tape x children
 
 (** Embed a tree: [embed] supplies the vector of a label (leaf token or AST
     node type); returns the root's hidden state. *)

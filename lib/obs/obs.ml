@@ -17,6 +17,8 @@
 module Json = Json
 module Metrics = Metrics
 module Span = Span
+module Profile = Profile
+module Bench_store = Bench_store
 
 (* ---------------- logging ---------------- *)
 
@@ -74,17 +76,26 @@ let trace_path = ref None
 let exit_hook = ref false
 
 (** Write whatever outputs were configured (also runs automatically on
-    exit). *)
+    exit).  When profiling is on, the profiler's per-op/per-layer totals are
+    published into the registry first so they land in the snapshot. *)
 let flush () =
+  if Profile.enabled () then Profile.publish ();
   (match !metrics_path with Some p -> Metrics.write p | None -> ());
   match !trace_path with Some p -> Span.write p | None -> ()
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
 
 (** Resolve the telemetry outputs — explicit arguments (CLI flags) win over
     the [LIGER_METRICS_OUT] / [LIGER_TRACE_OUT] environment — enable the
     corresponding subsystems, and arrange for the files to be written on
-    exit.  With neither configured this is a no-op and the whole telemetry
-    layer stays disabled. *)
-let init ?metrics_out ?trace_out () =
+    exit.  [profile] (or [LIGER_PROFILE=1]) additionally turns on the model
+    profiler, which implies the metrics registry (that is where its totals
+    are published).  With nothing configured this is a no-op and the whole
+    telemetry layer stays disabled. *)
+let init ?metrics_out ?trace_out ?(profile = false) () =
   let pick arg env = match arg with Some _ as p -> p | None -> Sys.getenv_opt env in
   (match pick metrics_out "LIGER_METRICS_OUT" with
   | Some p ->
@@ -96,12 +107,17 @@ let init ?metrics_out ?trace_out () =
       trace_path := Some p;
       Span.enable ()
   | None -> ());
+  (if profile || (match Sys.getenv_opt "LIGER_PROFILE" with Some s -> truthy s | None -> false)
+   then begin
+     Profile.enable ();
+     Metrics.enable ()
+   end);
   if (!metrics_path <> None || !trace_path <> None) && not !exit_hook then begin
     exit_hook := true;
     at_exit flush
   end
 
-let enabled () = Metrics.enabled () || Span.enabled ()
+let enabled () = Metrics.enabled () || Span.enabled () || Profile.enabled ()
 
 (* ---------------- the end-of-run report ---------------- *)
 
@@ -192,6 +208,78 @@ let report () =
   if hits + misses > 0 then
     Buffer.add_string buf
       (Printf.sprintf "experiment cache: %d hits / %d misses\n" hits misses);
+  (* training throughput (recorded per-model by Train.fit when metrics are on) *)
+  List.iter
+    (fun (e : Metrics.entry) ->
+      let model = match e.Metrics.e_labels with (_, v) :: _ -> v | [] -> "?" in
+      let eps = match e.Metrics.e_value with Metrics.G x -> x | _ -> 0.0 in
+      let labels = e.Metrics.e_labels in
+      let sps =
+        Option.value ~default:0.0
+          (Metrics.gauge_value ~labels snap "train.subtokens_per_second")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "throughput[%s]: %.1f examples/s, %.1f sub-tokens/s%s\n" model eps sps
+           (match Metrics.gauge_value ~labels snap "train.eta_seconds" with
+           | Some eta when eta > 0.0 -> Printf.sprintf " (eta %.1fs)" eta
+           | _ -> "")))
+    (Metrics.entries_with snap "train.examples_per_second");
+  (* model profile *)
+  (if Profile.enabled () then begin
+     let p = Profile.snapshot () in
+     (if p.Profile.layers <> [] then begin
+        let step_total =
+          List.fold_left
+            (fun acc (l : Profile.layer_stat) -> acc +. l.Profile.fwd_self_s +. l.Profile.bwd_s)
+            p.Profile.untagged_bwd_s p.Profile.layers
+        in
+        let pct x = if step_total > 0.0 then 100.0 *. x /. step_total else 0.0 in
+        Buffer.add_string buf "profile: per-layer time (self = children excluded):\n";
+        let rows =
+          List.map
+            (fun (l : Profile.layer_stat) ->
+              [ l.Profile.layer_name;
+                string_of_int l.Profile.calls;
+                Printf.sprintf "%.3f" l.Profile.fwd_total_s;
+                Printf.sprintf "%.3f" l.Profile.fwd_self_s;
+                Printf.sprintf "%.3f" l.Profile.bwd_s;
+                Printf.sprintf "%.1f%%" (pct (l.Profile.fwd_self_s +. l.Profile.bwd_s)) ])
+            p.Profile.layers
+          @
+          if p.Profile.untagged_bwd_s > 0.0 then
+            [ [ "(untagged)"; "-"; "-"; "-";
+                Printf.sprintf "%.3f" p.Profile.untagged_bwd_s;
+                Printf.sprintf "%.1f%%" (pct p.Profile.untagged_bwd_s) ] ]
+          else []
+        in
+        buf_table buf ([ "layer"; "calls"; "fwd s"; "fwd self s"; "bwd s"; "% step" ] :: rows)
+      end);
+     (if p.Profile.ops <> [] then begin
+        Buffer.add_string buf "profile: top ops by FLOPs:\n";
+        let by_flops =
+          List.sort
+            (fun (a : Profile.op_stat) b -> compare (b.Profile.flops, a.Profile.op_name) (a.Profile.flops, b.Profile.op_name))
+            p.Profile.ops
+          |> List.filteri (fun i _ -> i < 16)
+        in
+        buf_table buf
+          ([ "op"; "count"; "Mflop"; "MB"; "s" ]
+          :: List.map
+               (fun (o : Profile.op_stat) ->
+                 [ o.Profile.op_name;
+                   string_of_int o.Profile.count;
+                   Printf.sprintf "%.2f" (o.Profile.flops /. 1e6);
+                   Printf.sprintf "%.2f" (o.Profile.bytes /. 1e6);
+                   (if o.Profile.seconds > 0.0 then Printf.sprintf "%.3f" o.Profile.seconds
+                    else "-") ])
+               by_flops);
+        Buffer.add_string buf
+          (Printf.sprintf "profile: %.2f Mflop total; tensor memory peak %.2f MB, live %.2f MB\n"
+             (Profile.total_flops p /. 1e6)
+             (float_of_int p.Profile.snap_peak_bytes /. 1e6)
+             (float_of_int p.Profile.snap_live_bytes /. 1e6))
+      end)
+   end);
   Buffer.contents buf
 
 let print_report () = if enabled () then prerr_string (report ())
@@ -239,13 +327,57 @@ let validate_json json =
   end
   else
     match Json.member "counters" json with
-    | Some _ ->
-        let count section =
-          match Json.member section json with Some (Json.Obj kvs) -> List.length kvs | _ -> 0
+    | Some _ -> (
+        let keys section =
+          match Json.member section json with
+          | Some (Json.Obj kvs) -> List.map fst kvs
+          | _ -> []
         in
-        Ok
-          (Printf.sprintf "metrics snapshot with %d counters, %d fcounters, %d gauges, %d histograms"
-             (count "counters") (count "fcounters") (count "gauges") (count "histograms"))
+        let count section = List.length (keys section) in
+        let counters = keys "counters" and fcounters = keys "fcounters" in
+        (* profile cross-check: every profile.op_count{op=X} needs matching
+           profile.op_flops{op=X}, every profile.layer_calls{layer=X} needs
+           forward and backward seconds — a snapshot that fails this was not
+           produced by Profile.publish *)
+        let with_prefix prefix l =
+          List.filter_map
+            (fun k ->
+              let lp = String.length prefix in
+              if String.length k > lp && String.sub k 0 lp = prefix then
+                Some (String.sub k lp (String.length k - lp))
+              else None)
+            l
+        in
+        let op_suffixes = with_prefix "profile.op_count" counters in
+        let layer_suffixes = with_prefix "profile.layer_calls" counters in
+        let missing =
+          List.filter_map
+            (fun sfx ->
+              if List.mem ("profile.op_flops" ^ sfx) fcounters then None
+              else Some ("profile.op_flops" ^ sfx))
+            op_suffixes
+          @ List.concat_map
+              (fun sfx ->
+                List.filter_map
+                  (fun name ->
+                    if List.mem (name ^ sfx) fcounters then None else Some (name ^ sfx))
+                  [ "profile.layer_forward_seconds"; "profile.layer_backward_seconds" ])
+              layer_suffixes
+        in
+        match missing with
+        | m :: _ -> Error (Printf.sprintf "profile section incomplete: missing %s" m)
+        | [] ->
+            let profile =
+              if op_suffixes = [] && layer_suffixes = [] then ""
+              else
+                Printf.sprintf ", profile section (%d ops, %d layers)"
+                  (List.length op_suffixes) (List.length layer_suffixes)
+            in
+            Ok
+              (Printf.sprintf
+                 "metrics snapshot with %d counters, %d fcounters, %d gauges, %d histograms%s"
+                 (count "counters") (count "fcounters") (count "gauges") (count "histograms")
+                 profile))
     | None -> Ok "well-formed JSON (unrecognized schema)"
 
 let validate_file path =
@@ -331,3 +463,97 @@ let summarize_file path =
         section "histograms" "histograms" hist
       end;
       Ok (Buffer.contents buf)
+
+(* ---------------- flat views + diffing ([liger stats --diff]) ---------------- *)
+
+(** A metrics snapshot / flat bench JSON / history record as one flat
+    name→number map, the common currency of {!Bench_store.diff}.
+    Histograms contribute [name.sum] and [name.count]; booleans become
+    0/1. *)
+let flatten_json (json : Json.t) : ((string * float) list, string) result =
+  if is_trace json then Error "trace files cannot be diffed (no scalar metrics)"
+  else if Json.member "counters" json <> None then begin
+    let nums section suffixes =
+      match Json.member section json with
+      | Some (Json.Obj kvs) ->
+          List.concat_map
+            (fun (k, v) ->
+              match suffixes with
+              | [] -> ( match Json.to_float v with Some f -> [ (k, f) ] | None -> [])
+              | sfx ->
+                  List.filter_map
+                    (fun s ->
+                      Option.map (fun f -> (k ^ "." ^ s, f)) (Option.bind (Json.member s v) Json.to_float))
+                    sfx)
+            kvs
+      | _ -> []
+    in
+    Ok
+      (nums "counters" [] @ nums "fcounters" [] @ nums "gauges" []
+      @ nums "histograms" [ "sum"; "count" ]
+      |> List.sort compare)
+  end
+  else if Json.member "benchmark" json <> None && Json.member "metrics" json <> None then
+    (* a single Bench_store record pasted as a plain JSON file *)
+    match Bench_store.parse_record json with
+    | Ok r -> Ok r.Bench_store.metrics
+    | Error msg -> Error msg
+  else
+    match json with
+    | Json.Obj fields ->
+        let nums =
+          List.filter_map
+            (fun (k, v) ->
+              match v with
+              | Json.Num f -> Some (k, f)
+              | Json.Bool b -> Some (k, if b then 1.0 else 0.0)
+              | _ -> None)
+            fields
+        in
+        if nums = [] then Error "no numeric fields to diff" else Ok nums
+    | _ -> Error "not a JSON object"
+
+let record_label path (r : Bench_store.record) =
+  Printf.sprintf "%s [%s %s@%s jobs=%d]" path r.Bench_store.benchmark r.Bench_store.date
+    r.Bench_store.rev r.Bench_store.jobs
+
+(** Load [path] as a flat metric map plus a human label: a JSON snapshot /
+    flat bench file directly, or — when the file is JSONL — the last record
+    of a {!Bench_store} history. *)
+let load_flat path : ((string * float) list * string, string) result =
+  match Json.parse_file path with
+  | Ok json -> (
+      match flatten_json json with
+      | Ok flat -> Ok (flat, path)
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | Error json_msg -> (
+      match Bench_store.load path with
+      | Ok [] -> Error (Printf.sprintf "%s: empty history" path)
+      | Ok records ->
+          let r = List.nth records (List.length records - 1) in
+          Ok (r.Bench_store.metrics, record_label path r)
+      | Error _ -> Error (Printf.sprintf "%s: invalid JSON: %s" path json_msg))
+
+(** [diff_files a b] renders the threshold-flagged delta table between two
+    snapshots (each a metrics JSON, flat bench JSON, or JSONL history whose
+    last record is used). *)
+let diff_files ?threshold a b =
+  match (load_flat a, load_flat b) with
+  | Ok (fa, la), Ok (fb, lb) ->
+      Ok (Printf.sprintf "diff: %s -> %s\n%s" la lb (Bench_store.render_diff ?threshold fa fb))
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+
+(** [diff_history path] compares the last two records of one JSONL
+    history. *)
+let diff_history ?threshold path =
+  match Bench_store.load path with
+  | Error msg -> Error msg
+  | Ok records when List.length records < 2 ->
+      Error (Printf.sprintf "%s: need at least 2 records to diff (found %d)" path
+               (List.length records))
+  | Ok records ->
+      let n = List.length records in
+      let a = List.nth records (n - 2) and b = List.nth records (n - 1) in
+      Ok
+        (Printf.sprintf "diff: %s -> %s\n%s" (record_label path a) (record_label path b)
+           (Bench_store.render_diff ?threshold a.Bench_store.metrics b.Bench_store.metrics))

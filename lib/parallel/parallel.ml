@@ -36,8 +36,13 @@
      parallel.batches                map/filter_map calls
      parallel.wall_seconds           wall time inside map calls
      parallel.busy_seconds{domain=i} per-lane time spent running tasks
+     parallel.batch_tasks            histogram of tasks per map call
+     parallel.dispatch_seconds       histogram: caller-side share push + wakeup
+     parallel.queue_wait_seconds     histogram: share enqueue -> worker pickup
 
-   Slot 0 is the submitting (caller) domain; slots 1..size are workers. *)
+   Slot 0 is the submitting (caller) domain; slots 1..size are workers.
+   The three histograms are the dispatch-overhead diagnostics behind the
+   BENCH_parallel.json investigation (DESIGN.md "Domain pool"). *)
 
 let slot_key = Domain.DLS.new_key (fun () -> 0)
 
@@ -68,11 +73,18 @@ let timed_busy f =
     end
   end
 
+(* tasks-per-batch sizes; dispatch/queue-wait latencies (sub-ms resolution) *)
+let size_buckets = [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0 |]
+
+let wait_buckets =
+  [| 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0 |]
+
 let record_batch ~n ~wall_dt =
   if Liger_obs.Metrics.enabled () then begin
     Liger_obs.Metrics.add "parallel.tasks" n;
     Liger_obs.Metrics.incr "parallel.batches";
-    Liger_obs.Metrics.fadd "parallel.wall_seconds" wall_dt
+    Liger_obs.Metrics.fadd "parallel.wall_seconds" wall_dt;
+    Liger_obs.Metrics.observe ~buckets:size_buckets "parallel.batch_tasks" (float_of_int n)
   end
 
 (** Compatibility view over the registry entries above.  Callers that want
@@ -137,6 +149,18 @@ type pool = {
 
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get in_worker_key
+
+(* Below this many tasks a map runs sequentially even when a pool exists:
+   share dispatch costs tens of microseconds (see parallel.dispatch_seconds)
+   and tiny batches cannot amortize it.  Override with LIGER_MIN_BATCH. *)
+let min_batch =
+  lazy
+    (match Sys.getenv_opt "LIGER_MIN_BATCH" with
+    | None -> 4
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg ("LIGER_MIN_BATCH must be a positive integer, got " ^ s)))
 
 let env_jobs () =
   match Sys.getenv_opt "LIGER_JOBS" with
@@ -220,6 +244,13 @@ let get_pool () =
     match !the_pool with
     | Some p -> p
     | None ->
+        let recommended = Domain.recommended_domain_count () in
+        if n > recommended then
+          Logs.warn (fun m ->
+              m
+                "Parallel: %d jobs on %d available core(s) oversubscribes the CPU; \
+                 expect a slowdown, not a speedup (see DESIGN.md)"
+                n recommended);
         let pool =
           {
             workers = [||];
@@ -282,7 +313,7 @@ let map (f : 'a -> 'b) (arr : 'a array) : 'b array =
   let n = Array.length arr in
   let j = jobs () in
   if n = 0 then [||]
-  else if j <= 1 || n = 1 || in_worker () then sequential_map f arr
+  else if j <= 1 || n < Lazy.force min_batch || in_worker () then sequential_map f arr
   else begin
     let t0 = Unix.gettimeofday () in
     let results : 'b option array = Array.make n None in
@@ -306,12 +337,26 @@ let map (f : 'a -> 'b) (arr : 'a array) : 'b array =
     in
     let pool = get_pool () in
     let shares = min (Array.length pool.workers) (n - 1) in
+    let telemetry = Liger_obs.Metrics.enabled () in
+    let t_dispatch = if telemetry then Unix.gettimeofday () else 0.0 in
     Mutex.lock pool.mutex;
     for _ = 1 to shares do
-      Queue.push (fun () -> ignore (drain batch)) pool.queue
+      if telemetry then begin
+        let enq = Unix.gettimeofday () in
+        Queue.push
+          (fun () ->
+            Liger_obs.Metrics.observe ~buckets:wait_buckets "parallel.queue_wait_seconds"
+              (Unix.gettimeofday () -. enq);
+            ignore (drain batch))
+          pool.queue
+      end
+      else Queue.push (fun () -> ignore (drain batch)) pool.queue
     done;
     Condition.broadcast pool.work_available;
     Mutex.unlock pool.mutex;
+    if telemetry then
+      Liger_obs.Metrics.observe ~buckets:wait_buckets "parallel.dispatch_seconds"
+        (Unix.gettimeofday () -. t_dispatch);
     (* the caller is a participant too *)
     timed_busy (fun () -> ignore (drain batch));
     Mutex.lock batch.done_mutex;

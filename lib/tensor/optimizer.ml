@@ -5,6 +5,14 @@
     configuration but expose the learning rate since our models are far
     smaller.  Plain SGD is included for tests and ablations. *)
 
+module P = Liger_obs.Profile
+
+(* coarse profiled ops: one clock read per optimizer step / clip, negligible
+   next to the parameter sweep being timed *)
+let op_sgd = P.register_op "optim.sgd_step"
+let op_adam = P.register_op "optim.adam_step"
+let op_clip = P.register_op "optim.clip_grads"
+
 type t =
   | Sgd of { lr : float; momentum : float; state : (string, float array) Hashtbl.t }
   | Adam of {
@@ -33,16 +41,24 @@ let adam ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8)
     callers must skip the optimizer step when [Float.is_finite] fails on
     the result (as {!Liger_eval.Train.fit} does, counting the skip). *)
 let clip_grads store ~max_norm =
+  let t0 = if P.on () then P.now () else 0.0 in
   let norm = Param.grad_norm store in
-  if not (Float.is_finite norm) then begin
-    Param.zero_grads store;
-    norm
-  end
-  else begin
-    if norm > max_norm && norm > 0.0 then
-      Param.scale_grads store (max_norm /. norm);
-    norm
-  end
+  let norm =
+    if not (Float.is_finite norm) then begin
+      Param.zero_grads store;
+      norm
+    end
+    else begin
+      if norm > max_norm && norm > 0.0 then
+        Param.scale_grads store (max_norm /. norm);
+      norm
+    end
+  in
+  if P.on () then
+    P.op_timed op_clip ~seconds:(P.now () -. t0)
+      ~flops:(float_of_int (3 * Param.num_params store))
+      ~bytes:0.0;
+  norm
 
 let adam_state state (p : Param.t) =
   match Hashtbl.find_opt state p.Param.name with
@@ -53,8 +69,11 @@ let adam_state state (p : Param.t) =
       Hashtbl.add state p.Param.name mv;
       mv
 
-(** Apply one update from the accumulated gradients, then zero them. *)
+(** Apply one update from the accumulated gradients, then zero them.
+    Profiled as one coarse op (FLOP estimates per element: SGD 2, SGD with
+    momentum 4, Adam 15). *)
 let step t store =
+  let t0 = if P.on () then P.now () else 0.0 in
   (match t with
   | Sgd { lr; momentum; state } ->
       Param.iter store (fun p ->
@@ -93,4 +112,14 @@ let step t store =
               v.(i)
               -. (a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. v.(i))))
           done));
-  Param.zero_grads store
+  Param.zero_grads store;
+  if P.on () then begin
+    let o, flops_per_elt =
+      match t with
+      | Sgd { momentum; _ } -> (op_sgd, if momentum = 0.0 then 2.0 else 4.0)
+      | Adam _ -> (op_adam, 15.0)
+    in
+    P.op_timed o ~seconds:(P.now () -. t0)
+      ~flops:(flops_per_elt *. float_of_int (Param.num_params store))
+      ~bytes:0.0
+  end

@@ -9,16 +9,27 @@ type t = { data : float array; rows : int; cols : int }
 
 let size t = t.rows * t.cols
 
+(* When profiling, tensor storage feeds the live/peak memory gauges: 8 bytes
+   per element on allocation, released by a GC finaliser when the tensor
+   dies.  Disabled cost: one atomic load per construction. *)
+let track t =
+  if Liger_obs.Profile.on () then begin
+    let b = 8 * size t in
+    Liger_obs.Profile.alloc b;
+    Gc.finalise (fun (_ : t) -> Liger_obs.Profile.release b) t
+  end;
+  t
+
 let create rows cols =
   if rows <= 0 || cols <= 0 then invalid_arg "Tensor.create: non-positive dim";
-  { data = Array.make (rows * cols) 0.0; rows; cols }
+  track { data = Array.make (rows * cols) 0.0; rows; cols }
 
 let zeros = create
 
-let full rows cols x = { data = Array.make (rows * cols) x; rows; cols }
+let full rows cols x = track { data = Array.make (rows * cols) x; rows; cols }
 
 (** Vector (1 x n) from an array; the array is copied. *)
-let of_array a = { data = Array.copy a; rows = 1; cols = Array.length a }
+let of_array a = track { data = Array.copy a; rows = 1; cols = Array.length a }
 
 (** Matrix from a row-major nested array. Rows must be nonempty and equal
     length. *)
@@ -34,7 +45,7 @@ let of_rows rows_arr =
     rows_arr;
   t
 
-let copy t = { t with data = Array.copy t.data }
+let copy t = track { t with data = Array.copy t.data }
 
 let get t i j = t.data.(i * t.cols + j)
 let set t i j x = t.data.(i * t.cols + j) <- x
@@ -122,7 +133,7 @@ let dot x y =
   done;
   !acc
 
-let map f t = { t with data = Array.map f t.data }
+let map f t = track { t with data = Array.map f t.data }
 
 let sum t = Array.fold_left ( +. ) 0.0 t.data
 

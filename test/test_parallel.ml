@@ -9,6 +9,7 @@ open Liger_core
 open Liger_parallel
 open Liger_eval
 open Liger_dataset
+module OM = Liger_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Pool mechanics                                                      *)
@@ -73,6 +74,55 @@ let spin_for seconds =
   while Unix.gettimeofday () -. t0 < seconds do
     ignore (Sys.opaque_identity (sin 1.0))
   done
+
+(* The scheduling diagnostics behind the BENCH_parallel slowdown analysis:
+   per-batch task-size, dispatch-cost and queue-wait histograms. *)
+let test_diagnostics_histograms () =
+  Parallel.set_jobs 2;
+  OM.enable ();
+  OM.reset ();
+  Parallel.Stats.reset ();
+  ignore (Parallel.map (fun x -> spin_for 0.001; x) (Array.init 12 Fun.id));
+  let snap = OM.snapshot () in
+  (match OM.hist_view snap "parallel.batch_tasks" with
+  | None -> Alcotest.fail "batch_tasks histogram missing"
+  | Some h ->
+      Alcotest.(check int) "one batch observed" 1 h.OM.count;
+      Alcotest.(check (float 1e-9)) "batch size recorded" 12.0 h.OM.sum);
+  (match OM.hist_view snap "parallel.dispatch_seconds" with
+  | None -> Alcotest.fail "dispatch_seconds histogram missing"
+  | Some h ->
+      Alcotest.(check int) "one dispatch observed" 1 h.OM.count;
+      Alcotest.(check bool) "dispatch time non-negative" true (h.OM.sum >= 0.0));
+  (* the queue-wait sample is recorded when a worker picks the share up,
+     which can lag the caller's drain; poll until it lands *)
+  let rec await tries =
+    match OM.hist_view (OM.snapshot ()) "parallel.queue_wait_seconds" with
+    | Some h when h.OM.count >= 1 ->
+        Alcotest.(check bool) "queue wait non-negative" true (h.OM.sum >= 0.0)
+    | _ when tries > 0 ->
+        Unix.sleepf 0.005;
+        await (tries - 1)
+    | _ -> Alcotest.fail "queue_wait_seconds never observed"
+  in
+  await 400
+
+(* LIGER_MIN_BATCH: batches below the floor run sequentially (no dispatch) *)
+let test_min_batch_floor () =
+  Parallel.set_jobs 2;
+  OM.enable ();
+  OM.reset ();
+  Parallel.Stats.reset ();
+  (* default floor is 4: a 3-element map must not touch the pool *)
+  let got = Parallel.map (fun x -> x * 2) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "sequential result correct" [| 2; 4; 6 |] got;
+  (* the batch is still counted (sequential fallback records it), but the
+     pool was never dispatched to *)
+  Alcotest.(check bool) "no dispatch below the floor" true
+    (OM.hist_view (OM.snapshot ()) "parallel.dispatch_seconds" = None);
+  let s = Parallel.Stats.snapshot () in
+  Alcotest.(check int) "batch still counted" 1 s.Parallel.Stats.batches;
+  Alcotest.(check int) "tasks still counted" 3 s.Parallel.Stats.tasks
 
 (* Regression for the busy-time double count: a nested map (the sequential
    fallback inside a worker, or a nested parallel call on the caller's lane)
@@ -345,6 +395,9 @@ let () =
           Alcotest.test_case "exceptions propagate, pool survives" `Quick
             test_exception_propagation_and_reuse;
           Alcotest.test_case "stats accumulate" `Quick test_stats_counts;
+          Alcotest.test_case "scheduling diagnostics histograms" `Quick
+            test_diagnostics_histograms;
+          Alcotest.test_case "min-batch floor runs sequentially" `Quick test_min_batch_floor;
           Alcotest.test_case "busy time bounded by wall time" `Quick
             test_busy_accounting_bounded;
           Alcotest.test_case "set_jobs validates" `Quick test_set_jobs_invalid;
