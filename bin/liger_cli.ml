@@ -433,6 +433,89 @@ let experiments_cmd =
        ~doc:"Run the paper's evaluation (LIGER_SCALE=quick|full)")
     Term.(const run $ obs_term $ which)
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let module Fuzz = Liger_fuzz.Fuzz in
+  let module Oracle = Liger_fuzz.Oracle in
+  let run () seed iters budget_s oracle_names replay out_dir =
+    match replay with
+    | Some path -> (
+        match Fuzz.replay path with
+        | Error msg ->
+            Printf.eprintf "replay: %s\n" msg;
+            exit 2
+        | Ok r ->
+            (match r.Fuzz.r_verdict with
+            | Oracle.Fail msg ->
+                Printf.printf "%s: reproduced — %s\n" r.Fuzz.r_oracle msg
+            | Oracle.Pass -> Printf.printf "%s: NOT reproduced (passes)\n" r.Fuzz.r_oracle
+            | Oracle.Skip msg ->
+                Printf.printf "%s: NOT reproduced (skipped: %s)\n" r.Fuzz.r_oracle msg);
+            Obs.print_report ();
+            exit (if r.Fuzz.reproduced then 0 else 1))
+    | None ->
+        let oracles =
+          match oracle_names with
+          | [] -> Oracle.all
+          | names ->
+              List.map
+                (fun n ->
+                  match Oracle.find n with
+                  | Some o -> o
+                  | None ->
+                      Printf.eprintf "unknown oracle %S; available: %s\n" n
+                        (String.concat ", " (List.map (fun o -> o.Oracle.name) Oracle.all));
+                      exit 2)
+                names
+        in
+        let s = Fuzz.run ~oracles ~iters ?budget_s ~out_dir ~seed () in
+        Printf.printf "fuzz: seed %d, %d programs, %d checks in %.1fs\n" s.Fuzz.seed
+          s.Fuzz.programs s.Fuzz.checks s.Fuzz.elapsed_s;
+        List.iter
+          (fun (name, t) ->
+            Printf.printf "  %-12s %5d pass  %3d fail  %3d skip\n" name t.Fuzz.passed
+              t.Fuzz.failed t.Fuzz.skipped)
+          s.Fuzz.tallies;
+        List.iter
+          (fun (f : Fuzz.failure) ->
+            Printf.printf "FAIL %s iter %d (shrunk %d steps): %s\n  %s\n" f.Fuzz.oracle
+              f.Fuzz.iter f.Fuzz.shrink_steps f.Fuzz.message
+              (match f.Fuzz.artifact with Some p -> p | None -> "(not persisted)"))
+          s.Fuzz.failures;
+        Obs.print_report ();
+        exit (if s.Fuzz.failures = [] then 0 else 1)
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master random seed.") in
+  let iters =
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc:"Programs to generate.")
+  in
+  let budget_s =
+    Arg.(value & opt (some float) None
+         & info [ "budget-s" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget; stop starting new batches past it.")
+  in
+  let oracle_names =
+    Arg.(value & opt_all string []
+         & info [ "oracle" ] ~docv:"NAME"
+             ~doc:"Run only this oracle (repeatable); all six by default.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Re-run the failure persisted in a corpus $(i,.json) descriptor \
+                   and exit 0 iff it still fails.")
+  in
+  let out_dir =
+    Arg.(value & opt string (Filename.concat "fuzz" "corpus")
+         & info [ "out" ] ~docv:"DIR" ~doc:"Directory for failure artifacts.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generated well-typed programs vs. six oracles \
+             (roundtrip, soundness, symexec, analysis, autodiff, determinism)")
+    Term.(const run $ obs_term $ seed $ iters $ budget_s $ oracle_names $ replay $ out_dir)
+
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
@@ -502,4 +585,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
-            similar_cmd; experiments_cmd; stats_cmd ]))
+            similar_cmd; experiments_cmd; stats_cmd; fuzz_cmd ]))

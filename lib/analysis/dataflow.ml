@@ -35,11 +35,18 @@ module Solver (F : FACT) = struct
       | Forward -> (cfg.Cfg.preds, cfg.Cfg.succs, Cfg.entry)
       | Backward -> (cfg.Cfg.succs, cfg.Cfg.preds, Cfg.exit_)
     in
-    let queued = Array.make n true in
+    (* Seed the worklist with the start node only.  Seeding every node looks
+       harmless but is not: a node processed before the start fact reaches it
+       sees a partial input (absent variables), and a transfer that is only
+       monotone over inputs descending from [init] — constant propagation's
+       [Var] lookup — can then produce transient facts that a loop circulates
+       forever.  Starting from [start], every processed input is a join of
+       real predecessor outputs, and unreachable nodes keep [bottom]. *)
+    let queued = Array.make n false in
+    let visited = Array.make n false in
     let q = Queue.create () in
-    for i = 0 to n - 1 do
-      Queue.add i q
-    done;
+    Queue.add start q;
+    queued.(start) <- true;
     while not (Queue.is_empty q) do
       let u = Queue.pop q in
       queued.(u) <- false;
@@ -51,7 +58,11 @@ module Solver (F : FACT) = struct
       in
       before.(u) <- input;
       let out = transfer cfg.Cfg.nodes.(u) input in
-      if not (F.equal out after.(u)) then begin
+      (* a node's first processing must propagate even when its output equals
+         bottom — successors still need their own first processing *)
+      let first = not visited.(u) in
+      visited.(u) <- true;
+      if first || not (F.equal out after.(u)) then begin
         after.(u) <- out;
         List.iter
           (fun v ->

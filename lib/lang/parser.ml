@@ -140,9 +140,14 @@ and parse_muldiv st =
 
 and parse_unary st =
   match cur_tok st with
-  | Token.MINUS ->
+  | Token.MINUS -> (
       advance st;
-      Ast.Unop (Ast.Neg, parse_unary st)
+      (* fold negated literals so that Int (-5) survives a print/parse
+         roundtrip: the printer emits "(-5)", which must not come back as
+         Unop (Neg, Int 5) *)
+      match parse_unary st with
+      | Ast.Int n -> Ast.Int (-n)
+      | e -> Ast.Unop (Ast.Neg, e))
   | Token.BANG ->
       advance st;
       Ast.Unop (Ast.Not, parse_unary st)

@@ -55,36 +55,68 @@ let as_int = function
   | Symval.Const (Value.VInt n) -> n
   | v -> raise (Abort ("symbolic value where concrete int required: " ^ Symval.to_string v))
 
-let rec eval env (e : Ast.expr) : Symval.t =
+(* [side] accumulates conditions the path must additionally satisfy for the
+   evaluation to be crash-free: a symbolic divisor must be non-zero, or a
+   solved model could make the concrete replay crash where the symbolic path
+   returned.  Constant subexpressions that crash abort the path outright
+   (Symval.binop would silently keep them as residual nodes), and [&&]/[||]
+   short-circuit on a constant left operand exactly like the interpreter. *)
+let rec eval side env (e : Ast.expr) : Symval.t =
   match e with
   | Ast.Int n -> Symval.Const (Value.VInt n)
   | Ast.Bool b -> Symval.Const (Value.VBool b)
   | Ast.Str s -> Symval.Const (Value.VStr s)
   | Ast.Var x -> lookup env x
-  | Ast.Binop (op, a, b) -> Symval.binop op (eval env a) (eval env b)
-  | Ast.Unop (op, a) -> Symval.unop op (eval env a)
+  | Ast.Binop ((Ast.And | Ast.Or) as op, a, b) -> (
+      match (op, eval side env a) with
+      | Ast.And, Symval.Const (Value.VBool false) -> Symval.Const (Value.VBool false)
+      | Ast.Or, Symval.Const (Value.VBool true) -> Symval.Const (Value.VBool true)
+      | Ast.And, Symval.Const (Value.VBool true) | Ast.Or, Symval.Const (Value.VBool false) ->
+          eval side env b
+      | _, va ->
+          (* symbolic left: [b] is evaluated eagerly, so a crash or side
+             condition in [b] constrains the path even when the concrete run
+             would short-circuit past it — accepted incompleteness *)
+          Symval.binop op va (eval side env b))
+  | Ast.Binop (op, a, b) -> (
+      let va = eval side env a in
+      let vb = eval side env b in
+      match (va, vb) with
+      | Symval.Const x, Symval.Const y -> (
+          try Symval.Const (Interp.eval_binop op x y)
+          with Interp.Runtime_error msg -> raise (Abort msg))
+      | _ ->
+          (match (op, vb) with
+          | Ast.Div, Symval.Const (Value.VInt 0) -> raise (Abort "division by zero")
+          | Ast.Mod, Symval.Const (Value.VInt 0) -> raise (Abort "modulo by zero")
+          | (Ast.Div | Ast.Mod), Symval.Const _ -> ()
+          | (Ast.Div | Ast.Mod), _ ->
+              side := Symval.binop Ast.Ne vb (Symval.Const (Value.VInt 0)) :: !side
+          | _ -> ());
+          Symval.binop op va vb)
+  | Ast.Unop (op, a) -> Symval.unop op (eval side env a)
   | Ast.Index (a, i) -> (
-      let arr = eval env a in
-      let idx = as_int (eval env i) in
+      let arr = eval side env a in
+      let idx = as_int (eval side env i) in
       match arr with
       | Symval.Arr cells ->
           if idx < 0 || idx >= Array.length cells then raise (Abort "index out of bounds");
           cells.(idx)
       | _ -> raise (Abort "indexing a non-array"))
   | Ast.Field (a, f) -> (
-      match eval env a with
+      match eval side env a with
       | Symval.Obj fields -> (
           match Array.find_opt (fun (n, _) -> n = f) fields with
           | Some (_, v) -> v
           | None -> raise (Abort ("no field " ^ f)))
       | _ -> raise (Abort "field access on non-object"))
   | Ast.Len a -> (
-      match eval env a with
+      match eval side env a with
       | Symval.Arr cells -> Symval.Const (Value.VInt (Array.length cells))
       | Symval.Const (Value.VStr s) -> Symval.Const (Value.VInt (String.length s))
       | _ -> raise (Abort "length of symbolic value"))
   | Ast.Call (f, args) ->
-      let vals = List.map (eval env) args in
+      let vals = List.map (eval side env) args in
       let concrete =
         List.map
           (fun v -> try Symval.to_value v with Symval.Not_concrete -> raise (Abort ("symbolic argument to builtin " ^ f)))
@@ -93,14 +125,30 @@ let rec eval env (e : Ast.expr) : Symval.t =
       (try Symval.Const (Interp.builtin f concrete)
        with Interp.Runtime_error msg -> raise (Abort msg))
   | Ast.NewArray e ->
-      let n = as_int (eval env e) in
+      let n = as_int (eval side env e) in
       if n < 0 || n > 1024 then raise (Abort "bad array size");
       Symval.Arr (Array.make n (Symval.Const (Value.VInt 0)))
-  | Ast.ArrayLit es -> Symval.Arr (Array.of_list (List.map (eval env) es))
-  | Ast.RecordLit fs -> Symval.Obj (Array.of_list (List.map (fun (n, e) -> (n, eval env e)) fs))
+  | Ast.ArrayLit es -> Symval.Arr (Array.of_list (List.map (eval side env) es))
+  | Ast.RecordLit fs ->
+      Symval.Obj (Array.of_list (List.map (fun (n, e) -> (n, eval side env e)) fs))
 
 let record st sid branch =
   { st with signature = (sid, branch) :: st.signature; steps = st.steps + 1 }
+
+(* Evaluate [e] in [st], conjoining any collected side conditions into the
+   path condition.  [Path.add] only returns [None] when a condition folds to
+   constant false, i.e. the path is guaranteed to crash here. *)
+let eval_pc st (e : Ast.expr) =
+  let side = ref [] in
+  let v = eval side st.env e in
+  let pc =
+    List.fold_left
+      (fun pc c -> match pc with None -> None | Some pc -> Path.add c pc)
+      (Some st.pc) !side
+  in
+  match pc with
+  | None -> raise (Abort "division by zero")
+  | Some pc -> (v, { st with pc })
 
 (* Exploration context holding the global path budget. *)
 type ctx = { cfg : config; mutable budget : int }
@@ -136,11 +184,12 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
     try
       match s.Ast.node with
       | Ast.Decl (_, x, e) | Ast.Assign (x, e) ->
-          let v = eval st.env e in
+          let v, st = eval_pc st e in
           [ SNormal (record { st with env = StrMap.add x v st.env } s.Ast.sid None) ]
       | Ast.StoreIndex (x, i, e) -> (
-          let idx = as_int (eval st.env i) in
-          let v = eval st.env e in
+          let idx_v, st = eval_pc st i in
+          let idx = as_int idx_v in
+          let v, st = eval_pc st e in
           match lookup st.env x with
           | Symval.Arr cells ->
               if idx < 0 || idx >= Array.length cells then raise (Abort "index out of bounds");
@@ -150,7 +199,7 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
                   (record { st with env = StrMap.add x (Symval.Arr cells') st.env } s.Ast.sid None) ]
           | _ -> raise (Abort "store to non-array"))
       | Ast.StoreField (x, f, e) -> (
-          let v = eval st.env e in
+          let v, st = eval_pc st e in
           match lookup st.env x with
           | Symval.Obj fields ->
               let fields' = Array.map (fun (n, old) -> if n = f then (n, v) else (n, old)) fields in
@@ -160,7 +209,7 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
                   (record { st with env = StrMap.add x (Symval.Obj fields') st.env } s.Ast.sid None) ]
           | _ -> raise (Abort "store to non-object"))
       | Ast.If (c, then_b, else_b) ->
-          let guard = eval st.env c in
+          let guard, st = eval_pc st c in
           fork ctx st s.Ast.sid guard
           |> List.concat_map (fun (st', taken) ->
                  exec_block ctx st' (if taken then then_b else else_b))
@@ -171,7 +220,7 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
                | SNormal st' -> exec_loop ctx st' s c body (Some update)
                | other -> [ other ])
       | Ast.Return e ->
-          let v = eval st.env e in
+          let v, st = eval_pc st e in
           [ SReturn (record st s.Ast.sid None, v) ]
       | Ast.Break -> [ SBreak (record st s.Ast.sid None) ]
       | Ast.Continue -> [ SContinue (record st s.Ast.sid None) ]
@@ -181,7 +230,7 @@ and exec_loop ctx st (s : Ast.stmt) cond body update : signal list =
   if st.steps >= ctx.cfg.max_steps then [ SAbort (st, "step budget exceeded") ]
   else
     try
-      let guard = eval st.env cond in
+      let guard, st = eval_pc st cond in
       fork ctx st s.Ast.sid guard
       |> List.concat_map (fun (st', taken) ->
              if not taken then [ SNormal st' ]

@@ -49,6 +49,12 @@ dune exec --no-build bin/liger_cli.exe -- stats --validate obs_trace.json
 dune exec --no-build bin/liger_cli.exe -- stats --validate obs_metrics.json
 echo "   ok: obs_trace.json and obs_metrics.json validate"
 
+echo "== differential fuzz smoke: fixed seed, all oracles, zero failures expected"
+# Fixed seed keeps this reproducible; any failure is shrunk and persisted
+# under fuzz/corpus/ (uploaded by CI) and can be rerun with --replay.
+dune exec --no-build bin/liger_cli.exe -- fuzz --seed 1 --iters 200 --budget-s 60
+echo "   ok: fuzz battery clean"
+
 echo "== liger analyze (clean examples, strict)"
 for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do
   dune exec --no-build bin/liger_cli.exe -- analyze "$f" --strict > /dev/null

@@ -377,6 +377,23 @@ let test_constprop_constant_guards () =
   Alcotest.(check int) "both guards constant" 2 (List.length guards);
   Alcotest.(check bool) "both true" true (List.for_all snd guards)
 
+(* Regression (found by `liger fuzz`): the dataflow worklist used to be
+   seeded with every CFG node, so constant propagation's transfer ran on
+   partial environments (absent variables read as NonConst) before the entry
+   fact reached them; the resulting non-monotone transient facts oscillated
+   around this loop forever.  The solver now seeds from the start node only. *)
+let test_constprop_terminates_on_loop_carried_copy () =
+  let m =
+    parse
+      "method f(int p) : int { string v0 = \"x\"; for (int i = 0; i < 3; i = i + 1) { v0 \
+       = v0; string v2 = v0 + v0; } return p; }"
+  in
+  let folded = Constprop.fold_meth m in
+  match (Interp.run m [ Value.VInt 5 ], Interp.run folded [ Value.VInt 5 ]) with
+  | Interp.Returned a, Interp.Returned b ->
+      Alcotest.(check bool) "same return" true (Value.equal a b)
+  | _ -> Alcotest.fail "both runs should return"
+
 let prop_folding_preserves_semantics =
   QCheck.Test.make ~name:"constant folding preserves behaviour" ~count:30
     QCheck.(pair small_int small_int)
@@ -701,6 +718,8 @@ let () =
             test_constprop_partial_init_not_folded;
           Alcotest.test_case "crash preserving" `Quick test_constprop_preserves_crashes;
           Alcotest.test_case "constant guards" `Quick test_constprop_constant_guards;
+          Alcotest.test_case "terminates on loop-carried copy" `Quick
+            test_constprop_terminates_on_loop_carried_copy;
         ] );
       ( "unreachable",
         [

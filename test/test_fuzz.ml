@@ -1,0 +1,283 @@
+(* Tests for the differential fuzzing subsystem: the well-typed generator,
+   the greedy shrinker, the six oracles and the replay path.
+
+   The full battery on a fixed seed must pass with zero failures — any
+   failure here is a real disagreement between two pipeline halves and
+   should be fixed and pinned, not suppressed. *)
+
+open Liger_lang
+open Liger_tensor
+open Liger_fuzz
+
+let parse = Parser.method_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Gen.gen asserts well-typedness internally (invalid_arg on violation), so
+   generating is itself the check. *)
+let test_gen_well_typed_many_seeds () =
+  for seed = 1 to 300 do
+    let m = Gen.gen (Rng.create seed) in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d well-typed" seed)
+      true (Typecheck.is_well_typed m)
+  done
+
+let strip_ids =
+  Ast.map_meth ~fexpr:Fun.id ~fstmt:(fun s -> { s with Ast.sid = 0; Ast.line = 0 })
+
+let test_gen_deterministic () =
+  let gen s = Gen.gen (Rng.create s) in
+  for seed = 1 to 20 do
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d reproducible" seed)
+      true
+      (Ast.equal_meth (strip_ids (gen seed)) (strip_ids (gen seed)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec count_stmts_block b =
+  List.fold_left
+    (fun n s ->
+      n + 1
+      +
+      match s.Ast.node with
+      | Ast.If (_, b1, b2) -> count_stmts_block b1 + count_stmts_block b2
+      | Ast.While (_, b) | Ast.For (_, _, _, b) -> count_stmts_block b
+      | _ -> 0)
+    0 b
+
+let rec has_div_expr e =
+  match e with
+  | Ast.Binop (Ast.Div, _, _) -> true
+  | Ast.Binop (_, a, b) | Ast.Index (a, b) -> has_div_expr a || has_div_expr b
+  | Ast.Unop (_, a) | Ast.Len a | Ast.NewArray a | Ast.Field (a, _) -> has_div_expr a
+  | Ast.Call (_, args) -> List.exists has_div_expr args
+  | Ast.ArrayLit es -> List.exists has_div_expr es
+  | Ast.RecordLit fs -> List.exists (fun (_, e) -> has_div_expr e) fs
+  | Ast.Int _ | Ast.Bool _ | Ast.Str _ | Ast.Var _ -> false
+
+let has_div m =
+  let found = ref false in
+  ignore
+    (Ast.map_meth m ~fstmt:Fun.id ~fexpr:(fun e ->
+         if has_div_expr e then found := true;
+         e));
+  !found
+
+let test_shrink_to_local_minimum () =
+  let m =
+    parse
+      "method f(int x) : int { int a = 1 + 2; int b = a * x; string s = \"hi\" + \"!\"; \
+       if (x > 0) { int c = 7 / 1; return c; } while (x > 9) { x = x - 1; } return b; }"
+  in
+  let still_fails m = has_div m in
+  let r = Shrink.run ~still_fails m in
+  Alcotest.(check bool) "still fails" true (still_fails r.Shrink.shrunk);
+  Alcotest.(check bool) "still well-typed" true (Typecheck.is_well_typed r.Shrink.shrunk);
+  Alcotest.(check bool) "made progress" true (r.Shrink.steps > 0);
+  Alcotest.(check bool) "smaller" true
+    (count_stmts_block r.Shrink.shrunk.Ast.body < count_stmts_block m.Ast.body);
+  (* a local minimum for "contains a division": the whole body reduces to
+     the one statement holding the division (plus nothing deletable) *)
+  Alcotest.(check bool) "at most 2 statements left" true
+    (count_stmts_block r.Shrink.shrunk.Ast.body <= 2)
+
+let test_shrink_respects_validation () =
+  let m = parse "method f(int x) : int { int y = x + 1; return y; }" in
+  (* "fails" always: shrinking is then bounded only by well-typedness, so
+     the result must still typecheck (e.g. [return y] can't outlive [y]'s
+     declaration unless both go) *)
+  let r = Shrink.run ~still_fails:(fun _ -> true) m in
+  Alcotest.(check bool) "well-typed" true (Typecheck.is_well_typed r.Shrink.shrunk)
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check name ~seed m expect =
+  let o = Option.get (Oracle.find name) in
+  let v = Oracle.check_one o ~seed m in
+  let show = function
+    | Oracle.Pass -> "pass"
+    | Oracle.Fail m -> "fail: " ^ m
+    | Oracle.Skip m -> "skip: " ^ m
+  in
+  match (v, expect) with
+  | Oracle.Pass, `Pass | Oracle.Fail _, `Fail | Oracle.Skip _, `Skip -> ()
+  | v, _ -> Alcotest.failf "%s: unexpected verdict %s" name (show v)
+
+let test_crash_classification () =
+  Alcotest.(check bool) "unbound is confusion" true
+    (Oracle.is_type_confusion "unbound variable x");
+  Alcotest.(check bool) "expected is confusion" true
+    (Oracle.is_type_confusion "expected int, got bool");
+  Alcotest.(check bool) "div by zero is legit" false
+    (Oracle.is_type_confusion "division by zero");
+  Alcotest.(check bool) "index oob is legit" false
+    (Oracle.is_type_confusion "index 5 out of bounds")
+
+let test_soundness_allows_legit_crashes () =
+  (* division by zero on a random input is a legitimate runtime fault, not a
+     type confusion — the oracle must pass *)
+  check "soundness" ~seed:3
+    (parse "method f(int x) : int { return 10 / x; }")
+    `Pass
+
+(* Two known, documented Typecheck soundness holes the generator steers
+   around.  They make honest Fail verdicts for testing the failure path and
+   the replay machinery without planting artificial bugs. *)
+
+let storefield_hole_src =
+  "method f(int x) : int { obj o = {x: 1, y: 2}; o.x = true; return o.x + x; }"
+
+let test_soundness_catches_storefield_hole () =
+  (* Typecheck accepts any RHS type in a field store, but the interpreter
+     then hits bool + int — deterministically, on every input *)
+  let m = parse storefield_hole_src in
+  Alcotest.(check bool) "typechecks" true (Typecheck.is_well_typed m);
+  check "soundness" ~seed:1 m `Fail
+
+let test_soundness_catches_branch_decl_hole () =
+  (* Typecheck's context is unscoped, so a declaration inside a branch
+     leaks; the interpreter faults with "unbound variable" when the branch
+     is not taken (seed chosen so a false bool appears among the runs) *)
+  let m = parse "method f(bool b) : int { if (b) { int x = 1; } return x; }" in
+  Alcotest.(check bool) "typechecks" true (Typecheck.is_well_typed m);
+  check "soundness" ~seed:1 m `Fail
+
+let test_roundtrip_oracle_on_corpus_programs () =
+  List.iter
+    (fun src -> check "roundtrip" ~seed:1 (parse src) `Pass)
+    [
+      "method f() : int { return (-5); }";
+      "method f(int x) : int { if (x > 0) { return x; } return 0 - x; }";
+      "method f(string s) : string { return s + \"a\\nb\\\"c\"; }";
+    ]
+
+let test_symexec_oracle_replays () =
+  check "symexec" ~seed:2
+    (parse
+       "method f(int x) : int { if (x < 0) { return 0 - x; } if (x == 0) { return 7; } \
+        return x + 1; }")
+    `Pass
+
+let test_analysis_oracle_preserves () =
+  check "analysis" ~seed:2
+    (parse
+       "method f(int x) : int { int k = 2 + 3; int dead = 99; if (x > k) { return x; } \
+        return k; }")
+    `Pass
+
+let test_autodiff_oracle_fragments () =
+  (* program-independent: exercise several random fragment shapes *)
+  for seed = 1 to 8 do
+    check "autodiff" ~seed (parse "method f() : int { return 0; }") `Pass
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Driver: smoke, determinism, replay                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tally_list s =
+  List.map
+    (fun (name, t) -> (name, t.Fuzz.passed, t.Fuzz.failed, t.Fuzz.skipped))
+    s.Fuzz.tallies
+
+let test_run_smoke_zero_failures () =
+  let s = Fuzz.run ~iters:24 ~persist_failures:false ~seed:105 () in
+  Alcotest.(check int) "all programs generated" 24 s.Fuzz.programs;
+  Alcotest.(check bool) "checks ran" true (s.Fuzz.checks > 24);
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      Alcotest.failf "unexpected failure: %s iter %d: %s" f.Fuzz.oracle f.Fuzz.iter
+        f.Fuzz.message)
+    s.Fuzz.failures
+
+let test_run_deterministic () =
+  let run () = Fuzz.run ~iters:16 ~persist_failures:false ~seed:77 () in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same tallies" true (tally_list a = tally_list b);
+  Alcotest.(check int) "same checks" a.Fuzz.checks b.Fuzz.checks
+
+let test_replay_reproduces () =
+  (* a hand-written corpus descriptor for the StoreField hole: replay must
+     parse it, re-run the soundness oracle and reproduce the failure *)
+  let dir = Filename.temp_file "liger_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "soundness-s1-i0.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"oracle\": \"soundness\",\n  \"oracle_seed\": 1,\n  \"src\": \"%s\"\n}\n"
+    (Liger_obs.Json.escape storefield_hole_src);
+  close_out oc;
+  (match Fuzz.replay path with
+  | Error msg -> Alcotest.failf "replay error: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "reproduced" true r.Fuzz.reproduced;
+      Alcotest.(check string) "oracle" "soundness" r.Fuzz.r_oracle);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let test_persisted_artifacts_replay () =
+  (* force a failure end-to-end by fuzzing with a deliberately broken
+     predicate? no — instead persist a real failure through the driver's own
+     writer by running the soundness oracle on the hole program *)
+  let dir = Filename.temp_file "liger_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let m = parse storefield_hole_src in
+  let o = Option.get (Oracle.find "soundness") in
+  (match Oracle.check_one o ~seed:9 m with
+  | Oracle.Fail _ -> ()
+  | _ -> Alcotest.fail "hole program should fail soundness");
+  (* drive the full run loop on zero iterations just to exercise mkdir *)
+  let s = Fuzz.run ~iters:0 ~out_dir:dir ~seed:1 () in
+  Alcotest.(check int) "no programs" 0 s.Fuzz.programs;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "well-typed over 300 seeds" `Quick test_gen_well_typed_many_seeds;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "greedy local minimum" `Quick test_shrink_to_local_minimum;
+          Alcotest.test_case "respects validation" `Quick test_shrink_respects_validation;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "crash classification" `Quick test_crash_classification;
+          Alcotest.test_case "legit crash passes soundness" `Quick
+            test_soundness_allows_legit_crashes;
+          Alcotest.test_case "storefield hole caught" `Quick
+            test_soundness_catches_storefield_hole;
+          Alcotest.test_case "branch-decl hole caught" `Quick
+            test_soundness_catches_branch_decl_hole;
+          Alcotest.test_case "roundtrip on fixed programs" `Quick
+            test_roundtrip_oracle_on_corpus_programs;
+          Alcotest.test_case "symexec replays" `Quick test_symexec_oracle_replays;
+          Alcotest.test_case "analysis preserves" `Quick test_analysis_oracle_preserves;
+          Alcotest.test_case "autodiff fragments" `Quick test_autodiff_oracle_fragments;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "fixed-seed smoke, zero failures" `Quick
+            test_run_smoke_zero_failures;
+          Alcotest.test_case "deterministic verdicts" `Quick test_run_deterministic;
+          Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+          Alcotest.test_case "driver empty run" `Quick test_persisted_artifacts_replay;
+        ] );
+    ]

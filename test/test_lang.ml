@@ -141,6 +141,27 @@ let test_parse_precedence () =
       ()
   | n -> Alcotest.failf "unexpected parse: %s" (Ast.show_stmt_node n)
 
+(* Regression (found by `liger fuzz` roundtrip oracle): the pretty-printer
+   emits [Int (-5)] as "(-5)", which used to reparse as [Unop (Neg, Int 5)]
+   and break AST roundtrip equality.  The parser now folds negated integer
+   literals. *)
+let test_parse_negative_literal () =
+  let m = parse "method f() : int { return (-5); }" in
+  (match (List.hd m.Ast.body).Ast.node with
+  | Ast.Return (Ast.Int -5) -> ()
+  | n -> Alcotest.failf "negative literal mis-parsed: %s" (Ast.show_stmt_node n));
+  (* subtraction of a negative literal still parses as subtraction *)
+  let m = parse "method f() : int { return 2 - -3; }" in
+  match (List.hd m.Ast.body).Ast.node with
+  | Ast.Return (Ast.Binop (Ast.Sub, Ast.Int 2, Ast.Int -3)) -> ()
+  | n -> Alcotest.failf "2 - -3 mis-parsed: %s" (Ast.show_stmt_node n)
+
+let test_negative_literal_roundtrip () =
+  let m = parse "method f(int x) : int { int y = (-3); return y * (-1); }" in
+  let m2 = parse (Pretty.meth_to_string m) in
+  Alcotest.(check bool) "roundtrip equal" true
+    (Ast.equal_meth (strip_ids m) (strip_ids m2))
+
 let test_parse_compound_sugar () =
   let m = parse "method f(int x) : int { x += 3; x++; x *= 2; return x; }" in
   let nodes = List.map (fun s -> s.Ast.node) m.Ast.body in
@@ -585,6 +606,9 @@ let () =
           Alcotest.test_case "compound sugar" `Quick test_parse_compound_sugar;
           Alcotest.test_case "else-if" `Quick test_parse_else_if;
           Alcotest.test_case "record/array literals" `Quick test_parse_record_and_array_lit;
+          Alcotest.test_case "negative literal folds" `Quick test_parse_negative_literal;
+          Alcotest.test_case "negative literal roundtrip" `Quick
+            test_negative_literal_roundtrip;
           Alcotest.test_case "error line" `Quick test_parse_error_reports_line;
           Alcotest.test_case "unique sids" `Quick test_unique_sids;
           Alcotest.test_case "multiple methods" `Quick test_methods_of_string;

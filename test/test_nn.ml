@@ -7,7 +7,13 @@ open Liger_nn
 open Liger_trace
 
 (* Finite-difference check of d(loss)/d(param) for every parameter in the
-   store, where [build] constructs a scalar loss from scratch each call. *)
+   store, where [build] constructs a scalar loss from scratch each call.
+
+   Tolerance: central differences with eps = 1e-5 carry O(eps^2) truncation
+   error plus ~1e-6 of float64 cancellation noise on O(1) values, so analytic
+   and numeric gradients are compared with a RELATIVE tolerance of 2e-3
+   (scaled by 1 + |numeric|).  The decoder stacks a softmax cross-entropy on
+   top of a GRU and needs the looser 5e-3. *)
 let param_grad_check ?(eps = 1e-5) ?(tol = 2e-3) store build =
   let tape = Autodiff.tape () in
   let loss = build tape in
@@ -138,6 +144,20 @@ let test_decoder_grads () =
       let memory = Array.map (Autodiff.const tape) mem in
       let program_embedding = Autodiff.const tape prog in
       Decoder.loss dec tape ~memory ~program_embedding ~target_ids:[ 4; 5 ])
+
+(* The 8th layer: embedding rows are parameters too, and only the rows used
+   in the forward pass should receive gradient. *)
+let test_embedding_grads () =
+  let store = Param.create_store ~seed:15 () in
+  let vocab = Vocab.create () in
+  List.iter (fun t -> ignore (Vocab.id vocab t)) [ "foo"; "bar" ];
+  Vocab.freeze vocab;
+  let e = Embedding_layer.create store "emb" vocab ~dim:3 in
+  param_grad_check store (fun tape ->
+      let a = Embedding_layer.embed_id e tape 4 in
+      let b = Embedding_layer.embed_id e tape Vocab.unk_id in
+      let y = Autodiff.add tape a b in
+      Autodiff.sum tape (Autodiff.mul tape y y))
 
 (* ------------------------------------------------------------------ *)
 (* Behaviour                                                            *)
@@ -341,6 +361,7 @@ let () =
           Alcotest.test_case "treelstm" `Quick test_treelstm_grads;
           Alcotest.test_case "attention" `Quick test_attention_grads;
           Alcotest.test_case "decoder" `Quick test_decoder_grads;
+          Alcotest.test_case "embedding" `Quick test_embedding_grads;
         ] );
       ( "behaviour",
         [

@@ -230,6 +230,59 @@ let test_abort_on_symbolic_index () =
        (fun r -> match r.Symexec.outcome with Symexec.Sym_aborted _ -> true | _ -> false)
        results)
 
+(* Regressions found by the `liger fuzz` symexec oracle: the engine used to
+   keep crashing constant subexpressions as residual symbolic nodes (so a
+   path could "return" through 5/0), and it put no constraint on symbolic
+   divisors, so a solved model could pick a divisor of zero and the concrete
+   replay crashed where the symbolic path returned. *)
+
+let test_constant_division_by_zero_aborts () =
+  let m = parse "method f(int x) : int { int z = 5 / 0; return z; }" in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  let results = Symexec.explore m ~shape in
+  Alcotest.(check bool) "aborted with division by zero" true
+    (List.for_all
+       (fun r ->
+         match r.Symexec.outcome with
+         | Symexec.Sym_aborted "division by zero" -> true
+         | _ -> false)
+       results);
+  let rng = Rng.create 11 in
+  Alcotest.(check bool) "no directed inputs" true (Symexec.generate_inputs rng m = [])
+
+let test_symbolic_divisor_constrained () =
+  (* x - x is not folded symbolically, so the divisor stays symbolic; the
+     path condition must rule the zero divisor out, leaving nothing to solve *)
+  let m = parse "method f(int x) : int { int y = 10 / (x - x); return y; }" in
+  let rng = Rng.create 11 in
+  Alcotest.(check bool) "no directed inputs" true (Symexec.generate_inputs rng m = []);
+  (* a satisfiable divisor: every solved input must replay without crashing *)
+  let m = parse "method g(int x) : int { return 10 / x; }" in
+  let inputs = Symexec.generate_inputs (Rng.create 3) m in
+  Alcotest.(check bool) "some inputs" true (inputs <> []);
+  List.iter
+    (fun args ->
+      match Interp.run m args with
+      | Interp.Returned _ -> ()
+      | Interp.Crashed msg -> Alcotest.failf "directed input crashed: %s" msg
+      | Interp.Timeout -> Alcotest.fail "directed input timed out")
+    inputs
+
+let test_short_circuit_matches_interp () =
+  (* && / || short-circuit on a constant left operand exactly like the
+     interpreter: the false-left conjunction never evaluates the crashing
+     right operand, while the true-left disjunction's right crash aborts *)
+  let m = parse "method f(int x) : bool { return false && (1 / 0 > 0); }" in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  (match Symexec.explore m ~shape with
+  | [ { Symexec.outcome = Symexec.Sym_returned (Symval.Const (Value.VBool false)); _ } ] -> ()
+  | rs -> Alcotest.failf "expected one false path, got %d" (List.length rs));
+  let m = parse "method g(int x) : bool { return (1 / 0 > 0) || true; }" in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  match Symexec.explore m ~shape with
+  | [ { Symexec.outcome = Symexec.Sym_aborted "division by zero"; _ } ] -> ()
+  | rs -> Alcotest.failf "expected one aborted path, got %d" (List.length rs)
+
 (* ------------------------------------------------------------------ *)
 (* Feedback generation                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -410,6 +463,12 @@ let () =
           Alcotest.test_case "replay signature" `Quick test_concretized_inputs_replay_signature;
           Alcotest.test_case "generate covers" `Quick test_generate_inputs_cover_paths;
           Alcotest.test_case "abort symbolic index" `Quick test_abort_on_symbolic_index;
+          Alcotest.test_case "constant div-by-zero aborts" `Quick
+            test_constant_division_by_zero_aborts;
+          Alcotest.test_case "symbolic divisor constrained" `Quick
+            test_symbolic_divisor_constrained;
+          Alcotest.test_case "short-circuit matches interp" `Quick
+            test_short_circuit_matches_interp;
         ] );
       ( "feedback",
         [

@@ -535,10 +535,42 @@ let prop_grad_check_random_graph =
        with Failure msg -> QCheck.Test.fail_report msg);
       true)
 
+(* property: a checkpoint save/load restores every parameter bit-exactly
+   (the text format prints %.17g, which is lossless for float64) *)
+let prop_serialize_bit_exact =
+  QCheck.Test.make ~name:"serialize save/load roundtrip is bit-exact" ~count:30
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, n_params) ->
+      let store = Param.create_store ~seed:(seed + 1) () in
+      for i = 0 to n_params - 1 do
+        let rows = 1 + (seed + i) mod 4 and cols = 1 + (seed + (2 * i)) mod 5 in
+        ignore (Param.matrix store (Printf.sprintf "p%d" i) rows cols)
+      done;
+      let path = Filename.temp_file "liger" ".params" in
+      Serialize.save_store store path;
+      let store2 = Param.create_store ~seed:(seed + 1000) () in
+      for i = 0 to n_params - 1 do
+        let rows = 1 + (seed + i) mod 4 and cols = 1 + (seed + (2 * i)) mod 5 in
+        ignore (Param.matrix store2 (Printf.sprintf "p%d" i) rows cols)
+      done;
+      Serialize.load_store store2 path;
+      Sys.remove path;
+      Param.iter store (fun p ->
+          let q = Param.find store2 p.Param.name in
+          Array.iteri
+            (fun i x ->
+              (* bit-exact: compare the representations, not within epsilon *)
+              if Int64.bits_of_float x <> Int64.bits_of_float q.Param.value.Tensor.data.(i)
+              then
+                QCheck.Test.fail_reportf "%s[%d]: %.17g reloaded as %.17g" p.Param.name i
+                  x q.Param.value.Tensor.data.(i))
+            p.Param.value.Tensor.data);
+      true)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_softmax_distribution; prop_axpy_linear; prop_dot_symmetric;
-      prop_grad_check_random_graph ]
+      prop_grad_check_random_graph; prop_serialize_bit_exact ]
 
 let () =
   Alcotest.run "tensor"

@@ -383,7 +383,43 @@ let prop_group_partition =
       let bs = Blended.group m traces in
       Blended.total_executions bs = n_ok)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_group_partition ]
+(* property: interning any token list gives a bijection id <-> name that
+   survives save/load, including tokens that need escaping; re-adding is
+   idempotent *)
+let prop_vocab_roundtrip =
+  QCheck.Test.make ~name:"vocab encode/decode roundtrip, idempotent add" ~count:50
+    QCheck.(small_list small_string)
+    (fun toks ->
+      (* always include the characters the escaper must handle *)
+      let toks = toks @ [ ""; "a b"; "line\nbreak"; "back\\slash" ] in
+      let v = Vocab.create () in
+      let ids = List.map (Vocab.add v) toks in
+      let size = Vocab.size v in
+      (* idempotent: adding again returns the same id and allocates nothing *)
+      List.iter2
+        (fun tok i ->
+          if Vocab.add v tok <> i then QCheck.Test.fail_reportf "re-add moved %S" tok)
+        toks ids;
+      if Vocab.size v <> size then QCheck.Test.fail_report "re-add grew the vocab";
+      List.iter2
+        (fun tok i ->
+          if Vocab.name v i <> tok then QCheck.Test.fail_reportf "name(id %d) <> %S" i tok;
+          if Vocab.id v tok <> i then QCheck.Test.fail_reportf "id %S changed" tok)
+        toks ids;
+      let path = Filename.temp_file "liger" ".vocab" in
+      Vocab.save v path;
+      let v2 = Vocab.load path in
+      Sys.remove path;
+      if Vocab.size v2 <> size then QCheck.Test.fail_report "loaded size differs";
+      List.iter2
+        (fun tok i ->
+          if Vocab.name v2 i <> tok then
+            QCheck.Test.fail_reportf "loaded name(id %d) <> %S" i tok)
+        toks ids;
+      true)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_group_partition; prop_vocab_roundtrip ]
 
 let () =
   Alcotest.run "trace"
