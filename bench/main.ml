@@ -72,7 +72,7 @@ let build_fixture () =
     example;
     liger;
     liger_wrap;
-    dypro = Zoo.dypro ~vocab Liger_model.Naming;
+    dypro = fst (Zoo.dypro ~vocab Liger_model.Naming);
     code2vec = Zoo.code2vec ~train Liger_model.Naming;
     code2seq = Zoo.code2seq ~train Liger_model.Naming;
     vocab;
@@ -133,6 +133,28 @@ let micro_tests fx =
             { Liger_model.default_config with Liger_model.use_attention = false }));
     Test.make ~name:"fig11/full-config-step"
       (Staged.stage (train_step fx.liger_wrap fx.example));
+    (* Abstract interpretation & probing kernels: the widening/narrowing
+       fixpoint, the CHK dominator passes and exact probe labelling *)
+    Test.make ~name:"absint/analyze"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (c : Liger_testgen.Filter.candidate) ->
+               ignore (Liger_analysis.Absint.analyze c.Liger_testgen.Filter.meth))
+             fx.candidates));
+    Test.make ~name:"absint/dominators"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (c : Liger_testgen.Filter.candidate) ->
+               let cfg = Liger_analysis.Cfg.build c.Liger_testgen.Filter.meth in
+               ignore (Liger_analysis.Dominator.dominators cfg);
+               ignore (Liger_analysis.Dominator.postdominators cfg))
+             fx.candidates));
+    Test.make ~name:"probe/label-method"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (c : Liger_testgen.Filter.candidate) ->
+               ignore (Liger_dataset.Probing.label_method c.Liger_testgen.Filter.meth))
+             fx.candidates));
   ]
 
 let run_micro () =

@@ -3,8 +3,11 @@
    Subcommands:
      trace    FILE   - run a MiniJava method on generated inputs and print
                        Figure 2-style execution traces
-     analyze  FILE   - static analysis: CFG, dataflow facts, lint verdicts
-                       and the return-value slice of every method
+     analyze  FILE   - static analysis: CFG, dataflow facts, abstract
+                       interpretation, dominators, interprocedural summary,
+                       lint verdicts and the return-value slice of every method
+     probe           - train linear readouts on frozen embeddings against
+                       exact per-statement semantic labels
      paths    FILE   - bounded symbolic execution: enumerate paths, solve
                        their conditions, print the discovered inputs
      dataset         - generate a corpus and print Table 1-style statistics
@@ -130,6 +133,30 @@ let analyze_method (m : Ast.meth) =
       Printf.printf "-- return-value slice --\n  relevant: {%s}\n  prunable: {%s}\n"
         (String.concat ", " (Dataflow.VarSet.elements relevant))
         (String.concat ", " pruned);
+      let absint = Absint.analyze ~cfg m in
+      Printf.printf "-- abstract interpretation (%d iterations) --\n"
+        absint.Absint.iterations;
+      Printf.printf "  at exit: %s\n  returns %s\n"
+        (Fmt.str "%a" Absint.pp_env absint.Absint.after.(Cfg.exit_))
+        (Absint.aval_to_string absint.Absint.ret);
+      let dom = Dominator.dominators cfg in
+      let always =
+        Array.to_list cfg.Cfg.nodes
+        |> List.mapi (fun i n -> (i, n))
+        |> List.filter_map (fun (i, n) ->
+               match n with
+               | Cfg.Stmt s when Dominator.dominates dom i Cfg.exit_ ->
+                   Some (string_of_int s.Ast.sid)
+               | _ -> None)
+      in
+      Printf.printf "-- dominators --\n  statements on every terminating run: {%s}\n"
+        (String.concat ", " always);
+      let summary = Summary.summarize m in
+      let rendered_summary =
+        String.concat "\n  "
+          (String.split_on_char '\n' (String.trim (Fmt.str "%a" Summary.pp summary)))
+      in
+      Printf.printf "-- summary --\n  %s\n" rendered_summary;
       let verdict = Lint.check m in
       let rendered =
         String.concat "\n  "
@@ -258,7 +285,7 @@ let train_cmd =
               ~vocab:corpus.Pipeline.vocab task
           in
           (w, Some m)
-      | "dypro" -> (Zoo.dypro ~dim ~vocab:corpus.Pipeline.vocab task, None)
+      | "dypro" -> (fst (Zoo.dypro ~dim ~vocab:corpus.Pipeline.vocab task), None)
       | "code2vec" -> (Zoo.code2vec ~dim ~train:corpus.Pipeline.train task, None)
       | "code2seq" -> (Zoo.code2seq ~dim ~train:corpus.Pipeline.train task, None)
       | other -> failwith ("unknown model " ^ other)
@@ -403,6 +430,73 @@ let similar_cmd =
     (Cmd.info "similar" ~doc:"Semantic code search: nearest programs by embedding")
     Term.(const run $ file $ n $ k $ seed)
 
+(* ---------------- probe ---------------- *)
+
+let probe_cmd =
+  let run () n seed epochs probe_epochs dim out =
+    let rng = Rng.create seed in
+    Printf.printf "building corpus (n=%d)...\n%!" n;
+    let corpus = Pipeline.build_naming rng ~name:"probe" ~n in
+    let n_train, n_valid, n_test = Pipeline.sizes corpus in
+    Printf.printf "corpus: %d/%d/%d\n%!" n_train n_valid n_test;
+    let task = Liger_model.Naming in
+    let liger_wrap, liger_model =
+      Zoo.liger
+        ~config:{ Liger_model.default_config with Liger_model.dim }
+        ~vocab:corpus.Pipeline.vocab task
+    in
+    let dypro_wrap, dypro_model = Zoo.dypro ~dim ~vocab:corpus.Pipeline.vocab task in
+    let train_encoder (wrap : Train.model) =
+      Printf.printf "training %s encoder (%d epochs)...\n%!" wrap.Train.name epochs;
+      ignore
+        (Train.fit
+           ~options:{ Train.default_options with Train.epochs }
+           (Rng.create (seed + 1)) wrap ~train:corpus.Pipeline.train
+           ~valid:corpus.Pipeline.valid)
+    in
+    train_encoder liger_wrap;
+    train_encoder dypro_wrap;
+    let probe_one emb =
+      Printf.printf "probing %s (%d readout epochs per task)...\n%!" emb.Probe.e_name
+        probe_epochs;
+      Probe.probe ~epochs:probe_epochs (Rng.create (seed + 2)) emb
+        ~train:corpus.Pipeline.train ~test:corpus.Pipeline.test
+    in
+    let liger_report = probe_one (Probe.of_liger liger_model) in
+    let dypro_report = probe_one (Probe.of_dypro dypro_model) in
+    let reports = [ liger_report; dypro_report ] in
+    let table = Probe.render reports in
+    print_string table;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc table;
+        close_out oc;
+        Printf.printf "probe accuracy table written to %s\n" path);
+    Obs.print_report ()
+  in
+  let n = Arg.(value & opt int 80 & info [ "n" ] ~doc:"Corpus size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let epochs =
+    Arg.(value & opt int 4 & info [ "epochs" ] ~doc:"Encoder training epochs.")
+  in
+  let probe_epochs =
+    Arg.(value & opt int 40
+         & info [ "probe-epochs" ] ~doc:"Linear-readout training epochs per task.")
+  in
+  let dim = Arg.(value & opt int 16 & info [ "dim" ] ~doc:"Hidden size.") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Also write the accuracy table to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Train linear readouts on frozen LiGer/DYPRO embeddings against exact \
+             per-statement semantic labels (liveness, dominators, reachability, \
+             abstract sign) and report per-task accuracy")
+    Term.(const run $ obs_term $ n $ seed $ epochs $ probe_epochs $ dim $ out)
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -498,7 +592,7 @@ let fuzz_cmd =
   let oracle_names =
     Arg.(value & opt_all string []
          & info [ "oracle" ] ~docv:"NAME"
-             ~doc:"Run only this oracle (repeatable); all six by default.")
+             ~doc:"Run only this oracle (repeatable); all seven by default.")
   in
   let replay =
     Arg.(value & opt (some file) None
@@ -512,8 +606,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz"
-       ~doc:"Differential fuzzing: generated well-typed programs vs. six oracles \
-             (roundtrip, soundness, symexec, analysis, autodiff, determinism)")
+       ~doc:"Differential fuzzing: generated well-typed programs vs. seven oracles \
+             (roundtrip, soundness, symexec, analysis, autodiff, absint, \
+             determinism)")
     Term.(const run $ obs_term $ seed $ iters $ budget_s $ oracle_names $ replay $ out_dir)
 
 (* ---------------- stats ---------------- *)
@@ -585,4 +680,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
-            similar_cmd; experiments_cmd; stats_cmd; fuzz_cmd ]))
+            similar_cmd; probe_cmd; experiments_cmd; stats_cmd; fuzz_cmd ]))

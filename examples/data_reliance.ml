@@ -41,7 +41,7 @@ let () =
   in
   let dypro_full =
     fit_and_score "DYPRO" (fun () ->
-        Zoo.dypro ~view:view_full ~vocab:corpus.Pipeline.vocab Liger_model.Naming)
+        fst (Zoo.dypro ~view:view_full ~vocab:corpus.Pipeline.vocab Liger_model.Naming))
   in
 
   Printf.printf "\nReduced budget (1 concrete trace per path, train AND test):\n";
@@ -51,7 +51,7 @@ let () =
   in
   let dypro_red =
     fit_and_score "DYPRO" (fun () ->
-        Zoo.dypro ~view:view_reduced ~vocab:corpus.Pipeline.vocab Liger_model.Naming)
+        fst (Zoo.dypro ~view:view_reduced ~vocab:corpus.Pipeline.vocab Liger_model.Naming))
   in
 
   Printf.printf "\nF1 lost when concrete traces drop 3 -> 1:\n";

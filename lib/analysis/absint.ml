@@ -1,0 +1,762 @@
+(** Abstract interpretation of MiniJava methods over an interval × parity
+    product domain (plus boolean/string/array shapes), with widening at loop
+    heads and a bounded narrowing pass.
+
+    Unlike the passes built on {!Dataflow.Solver}, this engine refines facts
+    {e per edge}: the successor of a branch receives the entry environment
+    filtered through [assume guard taken], which the node-level transfer
+    functions of the generic solver cannot express.  It therefore runs its
+    own worklist (same reverse-postorder discipline), widening at back-edge
+    targets so the interval lattice's infinite ascending chains terminate,
+    then narrowing to recover the bounds pinned by loop guards.
+
+    The over-approximation contract — every value observed by the concrete
+    interpreter at a statement lies in the abstract value computed there —
+    is enforced continuously by the [absint] fuzz oracle. *)
+
+open Liger_lang
+module VarMap = Map.Make (String)
+module P = Interval.Parity
+module B = Interval.Abool
+
+(* ---------------- abstract values ---------------- *)
+
+type aval =
+  | ABot                                   (* no value reaches here *)
+  | AInt of Interval.t * P.t
+  | ABool of B.t
+  | AStr of Interval.t                     (* string length *)
+  | AArr of Interval.t * (Interval.t * P.t)  (* array length, cell hull *)
+  | AObj                                   (* record; fields untracked *)
+  | ATop                                   (* any value of any type *)
+
+let aint itv par = if Interval.is_bot itv || par = P.PBot then ABot else AInt (itv, par)
+let aint_top = AInt (Interval.top, P.top)
+let abool ab = if B.is_bot ab then ABot else ABool ab
+
+(* the interpreter rejects [new int\[n\]] above this *)
+let max_array_len = 100_000
+
+let of_type = function
+  | Ast.Tint -> aint_top
+  | Ast.Tbool -> ABool B.top
+  | Ast.Tstring -> AStr (Interval.at_least 0)
+  | Ast.Tarray -> AArr (Interval.range 0 max_array_len, (Interval.top, P.top))
+  | Ast.Tobj -> AObj
+
+let join_aval a b =
+  match (a, b) with
+  | ABot, x | x, ABot -> x
+  | ATop, _ | _, ATop -> ATop
+  | AInt (i1, p1), AInt (i2, p2) -> AInt (Interval.join i1 i2, P.join p1 p2)
+  | ABool b1, ABool b2 -> ABool (B.join b1 b2)
+  | AStr l1, AStr l2 -> AStr (Interval.join l1 l2)
+  | AArr (l1, (c1, q1)), AArr (l2, (c2, q2)) ->
+      AArr (Interval.join l1 l2, (Interval.join c1 c2, P.join q1 q2))
+  | AObj, AObj -> AObj
+  | _ -> ATop
+
+let widen_aval ~thresholds old next =
+  let w = Interval.widen_to ~thresholds in
+  match (old, next) with
+  | ABot, x | x, ABot -> x
+  | AInt (i1, p1), AInt (i2, p2) -> AInt (w i1 i2, P.join p1 p2)
+  | AStr l1, AStr l2 -> AStr (w l1 l2)
+  | AArr (l1, (c1, q1)), AArr (l2, (c2, q2)) ->
+      AArr (w l1 l2, (w c1 c2, P.join q1 q2))
+  | _ -> join_aval old next (* bool/obj/top: finite height, join suffices *)
+
+let narrow_aval old next =
+  match (old, next) with
+  | AInt (i1, p1), AInt (i2, _) -> aint (Interval.narrow i1 i2) p1
+  | AStr l1, AStr l2 -> AStr (Interval.narrow l1 l2)
+  | AArr (l1, (c1, q1)), AArr (l2, (c2, _)) ->
+      AArr (Interval.narrow l1 l2, (Interval.narrow c1 c2, q1))
+  | _ -> old
+
+let equal_aval (a : aval) (b : aval) = a = b
+
+let aval_to_string = function
+  | ABot -> "_|_"
+  | AInt (i, P.PTop) -> Interval.to_string i
+  | AInt (i, p) -> Printf.sprintf "%s %s" (Interval.to_string i) (P.to_string p)
+  | ABool b -> B.to_string b
+  | AStr l -> Printf.sprintf "str(len %s)" (Interval.to_string l)
+  | AArr (l, (c, _)) ->
+      Printf.sprintf "int[](len %s, cells %s)" (Interval.to_string l) (Interval.to_string c)
+  | AObj -> "obj"
+  | ATop -> "T"
+
+(** gamma-membership: is the concrete value described by the abstract one?
+    The fuzz oracle's soundness check. *)
+let value_in (a : aval) (v : Value.t) =
+  match (a, v) with
+  | ATop, _ -> true
+  | ABot, _ -> false
+  | AInt (i, p), Value.VInt n -> Interval.contains i n && P.contains p n
+  | ABool b, Value.VBool x -> B.contains b x
+  | AStr l, Value.VStr s -> Interval.contains l (String.length s)
+  | AArr (l, (c, q)), Value.VArr arr ->
+      Interval.contains l (Array.length arr)
+      && Array.for_all (fun n -> Interval.contains c n && P.contains q n) arr
+  | AObj, Value.VObj _ -> true
+  | _ -> false
+
+(* ---------------- environments ---------------- *)
+
+(** [Unreached] = no execution reaches this point.  In a reached
+    environment, an {e absent} variable is one never assigned on any path to
+    this point (the concrete state cannot bind it). *)
+type env = Unreached | Env of aval VarMap.t
+
+let join_env a b =
+  match (a, b) with
+  | Unreached, x | x, Unreached -> x
+  | Env m1, Env m2 ->
+      Env (VarMap.union (fun _ v1 v2 -> Some (join_aval v1 v2)) m1 m2)
+
+let merge_env f a b =
+  match (a, b) with
+  | Unreached, x | x, Unreached -> x
+  | Env m1, Env m2 ->
+      Env
+        (VarMap.merge
+           (fun _ v1 v2 ->
+             match (v1, v2) with
+             | None, v | v, None -> v
+             | Some v1, Some v2 -> Some (f v1 v2))
+           m1 m2)
+
+let widen_env ~thresholds old next = merge_env (widen_aval ~thresholds) old next
+
+let narrow_env old next =
+  match (old, next) with
+  | Unreached, _ | _, Unreached -> next
+  | Env m1, Env m2 ->
+      Env
+        (VarMap.mapi
+           (fun x v1 ->
+             match VarMap.find_opt x m2 with
+             | Some v2 -> narrow_aval v1 v2
+             | None -> v1)
+           m1)
+
+let equal_env a b =
+  match (a, b) with
+  | Unreached, Unreached -> true
+  | Env m1, Env m2 -> VarMap.equal equal_aval m1 m2
+  | _ -> false
+
+(* ---------------- crash sites ---------------- *)
+
+type crash = {
+  c_sid : int;
+  c_what : string;
+  c_definite : bool;  (* every execution of the statement crashes *)
+}
+
+(* ---------------- abstract evaluation ---------------- *)
+
+let to_int_parts = function
+  | AInt (i, p) -> (i, p)
+  | ABot -> (Interval.bot, P.bot)
+  | _ -> (Interval.top, P.top)
+
+let to_abool = function
+  | ABool b -> b
+  | ABot -> B.bot
+  | _ -> B.top
+
+(* [note] records a potential crash site; [definite] is downgraded to a may
+   crash inside short-circuited right operands. *)
+let rec aeval ~(note : string -> definite:bool -> unit) (m : aval VarMap.t)
+    (e : Ast.expr) : aval =
+  let aeval = aeval ~note in
+  let int2 f g a b =
+    let ia, pa = to_int_parts (aeval m a) in
+    let ib, pb = to_int_parts (aeval m b) in
+    aint (f ia ib) (g pa pb)
+  in
+  let cmp2 f a b =
+    let ia, _ = to_int_parts (aeval m a) in
+    let ib, _ = to_int_parts (aeval m b) in
+    abool (B.of_pair (f ia ib))
+  in
+  match e with
+  | Ast.Int n -> aint (Interval.const n) (P.of_int n)
+  | Ast.Bool b -> ABool (B.const b)
+  | Ast.Str s -> AStr (Interval.const (String.length s))
+  | Ast.Var x -> ( match VarMap.find_opt x m with Some v -> v | None -> ABot)
+  | Ast.Unop (Ast.Neg, a) ->
+      let i, p = to_int_parts (aeval m a) in
+      aint (Interval.neg i) (P.neg p)
+  | Ast.Unop (Ast.Not, a) -> abool (B.not_ (to_abool (aeval m a)))
+  | Ast.Binop (Ast.And, a, b) ->
+      let va = to_abool (aeval m a) in
+      (* b only evaluates when a is true: its crashes are never definite *)
+      let vb = to_abool (aeval_may ~note m b) in
+      abool (B.and_ va vb)
+  | Ast.Binop (Ast.Or, a, b) ->
+      let va = to_abool (aeval m a) in
+      let vb = to_abool (aeval_may ~note m b) in
+      abool (B.or_ va vb)
+  | Ast.Binop (Ast.Add, a, b) -> (
+      match (aeval m a, aeval m b) with
+      | AStr l1, AStr l2 -> AStr (Interval.add l1 l2)
+      | ABot, _ | _, ABot -> ABot
+      | AInt (i1, p1), AInt (i2, p2) -> aint (Interval.add i1 i2) (P.add p1 p2)
+      | _ -> ATop (* untracked type: int + or string concat *))
+  | Ast.Binop (Ast.Sub, a, b) -> int2 Interval.sub P.sub a b
+  | Ast.Binop (Ast.Mul, a, b) -> int2 Interval.mul P.mul a b
+  | Ast.Binop (Ast.Div, a, b) ->
+      let ia, _ = to_int_parts (aeval m a) in
+      let ib, _ = to_int_parts (aeval m b) in
+      note_div note "division by zero" ib;
+      aint (Interval.div ia ib) P.top
+  | Ast.Binop (Ast.Mod, a, b) ->
+      let ia, _ = to_int_parts (aeval m a) in
+      let ib, _ = to_int_parts (aeval m b) in
+      note_div note "modulo by zero" ib;
+      aint (Interval.rem ia ib) P.top
+  | Ast.Binop (Ast.Lt, a, b) -> cmp2 Interval.cmp_lt a b
+  | Ast.Binop (Ast.Le, a, b) -> cmp2 Interval.cmp_le a b
+  | Ast.Binop (Ast.Gt, a, b) -> cmp2 (fun x y -> Interval.cmp_lt y x) a b
+  | Ast.Binop (Ast.Ge, a, b) -> cmp2 (fun x y -> Interval.cmp_le y x) a b
+  | Ast.Binop (Ast.Eq, a, b) -> abool (aeq (aeval m a) (aeval m b))
+  | Ast.Binop (Ast.Ne, a, b) -> abool (B.not_ (aeq (aeval m a) (aeval m b)))
+  | Ast.Index (a, i) -> (
+      let va = aeval m a in
+      let ii, _ = to_int_parts (aeval m i) in
+      match va with
+      | AArr (len, (c, q)) ->
+          note_index note ~len ~idx:ii;
+          aint c q
+      | ABot -> ABot
+      | _ -> aint_top)
+  | Ast.Field (a, _) -> ( match aeval m a with ABot -> ABot | _ -> ATop)
+  | Ast.Len a -> (
+      match aeval m a with
+      | AArr (len, _) -> aint len P.top
+      | AStr len -> aint len P.top
+      | ABot -> ABot
+      | _ -> aint (Interval.at_least 0) P.top)
+  | Ast.Call (f, args) -> builtin_summary ~note f (List.map (aeval m) args)
+  | Ast.NewArray e -> (
+      let n, _ = to_int_parts (aeval m e) in
+      let ok = Interval.meet n (Interval.range 0 max_array_len) in
+      (match n with
+      | Interval.Bot -> ()
+      | _ ->
+          if Interval.is_bot ok then note "new int[n]: size out of range" ~definite:true
+          else if not (Interval.equal ok n) then
+            note "new int[n]: size out of range" ~definite:false);
+      if Interval.is_bot ok then ABot
+      else AArr (ok, (Interval.const 0, P.Even)))
+  | Ast.ArrayLit es ->
+      let cells = List.map (fun e -> to_int_parts (aeval m e)) es in
+      let c =
+        List.fold_left (fun acc (i, _) -> Interval.join acc i) Interval.bot cells
+      in
+      let q = List.fold_left (fun acc (_, p) -> P.join acc p) P.bot cells in
+      if List.exists (fun (i, _) -> Interval.is_bot i) cells then ABot
+      else AArr (Interval.const (List.length es), (c, q))
+  | Ast.RecordLit fs ->
+      List.iter (fun (_, e) -> ignore (aeval m e)) fs;
+      AObj
+
+(* evaluation contexts that may be skipped at runtime (short-circuit):
+   crashes found inside are only ever "may" *)
+and aeval_may ~note m e =
+  aeval ~note:(fun what ~definite:_ -> note what ~definite:false) m e
+
+and aeq va vb =
+  match (va, vb) with
+  | ABot, _ | _, ABot -> B.bot
+  | AInt (i1, p1), AInt (i2, p2) ->
+      let may_t = (not (Interval.is_bot (Interval.meet i1 i2))) && P.meet p1 p2 <> P.PBot in
+      let may_f =
+        match (Interval.is_const i1, Interval.is_const i2) with
+        | Some x, Some y -> x <> y
+        | _ -> true
+      in
+      B.of_pair (may_t, may_f)
+  | ABool b1, ABool b2 ->
+      B.of_pair
+        ( (b1.B.may_t && b2.B.may_t) || (b1.B.may_f && b2.B.may_f),
+          (b1.B.may_t && b2.B.may_f) || (b1.B.may_f && b2.B.may_t) )
+  | AStr l1, AStr l2 ->
+      let overlap = not (Interval.is_bot (Interval.meet l1 l2)) in
+      let both_empty = Interval.is_const l1 = Some 0 && Interval.is_const l2 = Some 0 in
+      B.of_pair (overlap, not both_empty)
+  | _ -> B.top
+
+and note_div note what ib =
+  if Interval.contains ib 0 then
+    note what ~definite:(Interval.is_const ib = Some 0)
+
+and note_index note ~len ~idx =
+  match (len, idx) with
+  | Interval.Bot, _ | _, Interval.Bot -> ()
+  | _ ->
+      let definitely_oob =
+        match (idx, len) with
+        | Interval.Iv (_, Interval.Fin hi), _ when hi < 0 -> true
+        | Interval.Iv (Interval.Fin lo, _), Interval.Iv (_, Interval.Fin lmax) ->
+            lo >= lmax
+        | _ -> false
+      in
+      let provably_ok =
+        match (idx, len) with
+        | Interval.Iv (Interval.Fin lo, Interval.Fin hi), Interval.Iv (Interval.Fin lmin, _)
+          ->
+            lo >= 0 && hi < lmin
+        | _ -> false
+      in
+      if definitely_oob then note "index out of bounds" ~definite:true
+      else if not provably_ok then note "index out of bounds" ~definite:false
+
+(* closed-form summaries for the interpreter's builtins: argument ranges in,
+   return range + crash condition out.  These are the leaves of the call
+   graph ({!Summary}). *)
+and builtin_summary ~note f (args : aval list) : aval =
+  let itv v = fst (to_int_parts v) in
+  let slen = function AStr l -> l | ABot -> Interval.bot | _ -> Interval.at_least 0 in
+  if List.exists (fun a -> a = ABot) args then ABot
+  else
+    match (f, args) with
+    | "abs", [ a ] ->
+        let i, p = to_int_parts a in
+        aint (Interval.abs_ i) p (* |n| has n's parity, even at min_int *)
+    | "min", [ a; b ] ->
+        let ia, pa = to_int_parts a and ib, pb = to_int_parts b in
+        aint (Interval.min_ ia ib) (P.join pa pb)
+    | "max", [ a; b ] ->
+        let ia, pa = to_int_parts a and ib, pb = to_int_parts b in
+        aint (Interval.max_ ia ib) (P.join pa pb)
+    | "pow", [ _; e ] ->
+        let ie = itv e in
+        (match ie with
+        | Interval.Iv (_, Interval.Fin hi) when hi < 0 ->
+            note "pow: negative exponent" ~definite:true
+        | _ -> if not (Interval.is_bot (Interval.meet ie (Interval.at_most (-1)))) then
+              note "pow: negative exponent" ~definite:false);
+        aint_top
+    | "substring", [ s; start; len ] ->
+        let ls = slen s and is_ = itv start and il = itv len in
+        let ok =
+          match (is_, il, ls) with
+          | Interval.Iv (Interval.Fin s0, Interval.Fin s1),
+            Interval.Iv (Interval.Fin l0, Interval.Fin l1),
+            Interval.Iv (Interval.Fin m0, _) ->
+              s0 >= 0 && l0 >= 0 && s1 + l1 <= m0
+          | _ -> false
+        in
+        if not ok then note "substring: out of range" ~definite:false;
+        AStr (Interval.meet il (Interval.at_least 0))
+    | "charAt", [ s; i ] ->
+        let ls = slen s and ii = itv i in
+        let ok =
+          match (ii, ls) with
+          | Interval.Iv (Interval.Fin lo, Interval.Fin hi), Interval.Iv (Interval.Fin m0, _)
+            ->
+              lo >= 0 && hi < m0
+          | _ -> false
+        in
+        if not ok then note "charAt: out of range" ~definite:false;
+        AStr (Interval.const 1)
+    | "indexOf", [ s; _ ] ->
+        (* -1 or a position strictly below the length of s *)
+        aint (Interval.join (Interval.const (-1)) (slen s)) P.top
+    | "ord", [ s ] ->
+        (match Interval.is_const (slen s) with
+        | Some 1 -> ()
+        | Some _ -> note "ord: expected 1-char string" ~definite:true
+        | None -> note "ord: expected 1-char string" ~definite:false);
+        aint (Interval.range 0 255) P.top
+    | "chr", [ n ] ->
+        let ii = itv n in
+        let ok = Interval.meet ii (Interval.range 0 255) in
+        if Interval.is_bot ok then note "chr: out of range" ~definite:true
+        else if not (Interval.equal ok ii) then note "chr: out of range" ~definite:false;
+        AStr (Interval.const 1)
+    | "toString", [ _ ] -> AStr (Interval.range 1 20)
+    | _ ->
+        note (Printf.sprintf "unknown builtin %s/%d" f (List.length args))
+          ~definite:true;
+        ABot
+
+(* ---------------- guard refinement ---------------- *)
+
+let flip_cmp = function
+  | Ast.Lt -> Ast.Ge
+  | Ast.Le -> Ast.Gt
+  | Ast.Gt -> Ast.Le
+  | Ast.Ge -> Ast.Lt
+  | Ast.Eq -> Ast.Ne
+  | Ast.Ne -> Ast.Eq
+  | op -> op
+
+let nonote _ ~definite:_ = ()
+
+(** [assume m cond taken]: the environment refined by the guard going the
+    [taken] way, or [None] when that outcome is infeasible. *)
+let rec assume (m : aval VarMap.t) (cond : Ast.expr) (taken : bool) :
+    aval VarMap.t option =
+  let feasible m' =
+    let v = to_abool (aeval ~note:nonote m' cond) in
+    if B.contains v taken then Some m' else None
+  in
+  match cond with
+  | Ast.Bool b -> if b = taken then Some m else None
+  | Ast.Var x -> (
+      match VarMap.find_opt x m with
+      | Some (ABool b) ->
+          if B.contains b taken then Some (VarMap.add x (ABool (B.const taken)) m)
+          else None
+      | Some ABot | None -> None
+      | _ -> Some m)
+  | Ast.Unop (Ast.Not, e) -> assume m e (not taken)
+  | Ast.Binop (Ast.And, a, b) when taken ->
+      Option.bind (assume m a true) (fun m -> assume m b true)
+  | Ast.Binop (Ast.Or, a, b) when not taken ->
+      Option.bind (assume m a false) (fun m -> assume m b false)
+  | Ast.Binop (Ast.And, a, b) ->
+      (* !(a && b): a false, or a true and b false *)
+      join_opt (assume m a false)
+        (Option.bind (assume m a true) (fun m -> assume m b false))
+  | Ast.Binop (Ast.Or, a, b) ->
+      join_opt (assume m a true)
+        (Option.bind (assume m a false) (fun m -> assume m b true))
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op, a, b) ->
+      let op = if taken then op else flip_cmp op in
+      Option.bind (refine_cmp m op a b) feasible
+  | _ -> feasible m
+
+and join_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some m1, Some m2 -> (
+      match join_env (Env m1) (Env m2) with Env m -> Some m | Unreached -> None)
+
+(** Refine variable operands of an integer comparison.  Always sound: meet
+    with a bound derived from the other side's current interval. *)
+and refine_cmp m op a b =
+  let refine_var m x refine other =
+    match VarMap.find_opt x m with
+    | Some (AInt (i, p)) ->
+        let other_i, other_p = to_int_parts (aeval ~note:nonote m other) in
+        let i' = refine i other_i in
+        let p' = match op with Ast.Eq -> P.meet p other_p | _ -> p in
+        if Interval.is_bot i' || p' = P.PBot then None
+        else Some (VarMap.add x (AInt (i', p')) m)
+    | _ -> Some m
+  in
+  let left, right =
+    match op with
+    | Ast.Lt -> (Interval.refine_lt, Interval.refine_gt)
+    | Ast.Le -> (Interval.refine_le, Interval.refine_ge)
+    | Ast.Gt -> (Interval.refine_gt, Interval.refine_lt)
+    | Ast.Ge -> (Interval.refine_ge, Interval.refine_le)
+    | Ast.Eq -> (Interval.refine_eq, Interval.refine_eq)
+    | Ast.Ne -> (Interval.refine_ne, Interval.refine_ne)
+    | _ -> ((fun i _ -> i), fun i _ -> i)
+  in
+  let m = match a with Ast.Var x -> refine_var m x left b | _ -> Some m in
+  match m with
+  | None -> None
+  | Some m -> ( match b with Ast.Var y -> refine_var m y right a | _ -> Some m)
+
+(* ---------------- transfer ---------------- *)
+
+let transfer ~note (node : Cfg.node) (env : env) : env =
+  match env with
+  | Unreached -> Unreached
+  | Env m -> (
+      match node with
+      | Cfg.Entry | Cfg.Exit -> env
+      | Cfg.Stmt s -> (
+          match s.Ast.node with
+          | Ast.Decl (_, x, e) | Ast.Assign (x, e) ->
+              Env (VarMap.add x (aeval ~note m e) m)
+          | Ast.StoreIndex (x, i, e) -> (
+              let ii, _ = to_int_parts (aeval ~note m i) in
+              let ve = aeval ~note m e in
+              match VarMap.find_opt x m with
+              | Some (AArr (len, (c, q))) ->
+                  note_index note ~len ~idx:ii;
+                  let ci, cp = to_int_parts ve in
+                  (* weak update: the store hits one cell, the hull keeps all *)
+                  Env
+                    (VarMap.add x
+                       (AArr (len, (Interval.join c ci, P.join q cp)))
+                       m)
+              | _ -> env)
+          | Ast.StoreField (_, _, e) ->
+              ignore (aeval ~note m e);
+              env
+          | Ast.Return e | Ast.If (e, _, _) | Ast.While (e, _) | Ast.For (_, e, _, _)
+            ->
+              ignore (aeval ~note m e);
+              env
+          | Ast.Break | Ast.Continue -> env))
+
+(* ---------------- the fixpoint ---------------- *)
+
+type result = {
+  cfg : Cfg.t;
+  before : env array;
+  after : env array;  (* unrefined: branch refinement lives on the edges *)
+  guards : B.t option array;  (* branch nodes: abstract guard at entry *)
+  reached : bool array;
+  widen_points : bool array;
+  crashes : crash list;
+  ret : aval;  (* join over all Return expressions *)
+  iterations : int;
+}
+
+let back_edge_targets (cfg : Cfg.t) =
+  let n = Cfg.n_nodes cfg in
+  let wp = Array.make n false in
+  let state = Array.make n `White in
+  let rec dfs u =
+    state.(u) <- `Grey;
+    List.iter
+      (fun v ->
+        match state.(v) with
+        | `Grey -> wp.(v) <- true
+        | `White -> dfs v
+        | `Black -> ())
+      cfg.Cfg.succs.(u);
+    state.(u) <- `Black
+  in
+  dfs Cfg.entry;
+  wp
+
+(** The fact flowing along edge [u -> v]: [after.(u)] refined by the branch
+    guard when [u] is a condition node. *)
+let edge_fact (cfg : Cfg.t) (after : env array) u v : env =
+  match after.(u) with
+  | Unreached -> Unreached
+  | Env m -> (
+      match (cfg.Cfg.cond_succs.(u), Cfg.stmt_of cfg u) with
+      | Some (t, f), Some s ->
+          let g =
+            match s.Ast.node with
+            | Ast.If (c, _, _) | Ast.While (c, _) | Ast.For (_, c, _, _) -> c
+            | _ -> Ast.Bool true (* unreachable: cond_succs only on branches *)
+          in
+          let via taken = if taken then v = t else v = f in
+          let arm taken =
+            if via taken then
+              match assume m g taken with Some m -> Env m | None -> Unreached
+            else Unreached
+          in
+          join_env (arm true) (arm false)
+      | _ -> after.(u))
+
+(** Widening thresholds: every integer literal in the method plus its
+    neighbours (a loop exiting on [i <= n] leaves the counter at [n + 1]),
+    and a few universal landmarks. *)
+let thresholds_of_meth (meth : Ast.meth) : int list =
+  let acc = ref [ -1; 0; 1; max_array_len ] in
+  let rec go_expr (e : Ast.expr) =
+    match e with
+    | Ast.Int n ->
+        if abs n < (1 lsl 50) then acc := (n - 1) :: n :: (n + 1) :: !acc
+    | Ast.Bool _ | Ast.Str _ | Ast.Var _ -> ()
+    | Ast.Unop (_, a) | Ast.Len a | Ast.NewArray a | Ast.Field (a, _) -> go_expr a
+    | Ast.Binop (_, a, b) | Ast.Index (a, b) -> go_expr a; go_expr b
+    | Ast.Call (_, es) | Ast.ArrayLit es -> List.iter go_expr es
+    | Ast.RecordLit fs -> List.iter (fun (_, e) -> go_expr e) fs
+  in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.Ast.node with
+      | Ast.Decl (_, _, e) | Ast.Assign (_, e) | Ast.Return e -> go_expr e
+      | Ast.StoreIndex (_, i, e) -> go_expr i; go_expr e
+      | Ast.StoreField (_, _, e) -> go_expr e
+      | Ast.If (c, _, _) | Ast.While (c, _) | Ast.For (_, c, _, _) -> go_expr c
+      | Ast.Break | Ast.Continue -> ())
+    (Ast.all_stmts meth);
+  List.sort_uniq compare !acc
+
+let init_env_of_params (meth : Ast.meth) (params : aval list option) =
+  let bindings =
+    match params with
+    | Some vs -> List.map2 (fun (ty, x) v -> ignore ty; (x, v)) meth.Ast.params vs
+    | None -> List.map (fun (ty, x) -> (x, of_type ty)) meth.Ast.params
+  in
+  Env (List.fold_left (fun m (x, v) -> VarMap.add x v m) VarMap.empty bindings)
+
+let narrowing_sweeps = 2
+
+(** Analyze [meth].  [params] overrides the per-parameter input abstraction
+    (used by {!Summary} to compute argument-range -> return-range
+    summaries); the default is the type-directed top. *)
+let analyze ?cfg ?params (meth : Ast.meth) : result =
+  let cfg = match cfg with Some c -> c | None -> Cfg.build meth in
+  let n = Cfg.n_nodes cfg in
+  let before = Array.make n Unreached in
+  let after = Array.make n Unreached in
+  let widen_points = back_edge_targets cfg in
+  let thresholds = thresholds_of_meth meth in
+  let init = init_env_of_params meth params in
+  let rpo, order, _ = Dominator.compute_rpo n cfg.Cfg.succs Cfg.entry in
+  let module WL = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let wl = ref (WL.singleton (rpo.(Cfg.entry), Cfg.entry)) in
+  let visited = Array.make n false in
+  let iterations = ref 0 in
+  let input_of u =
+    if u = Cfg.entry then init
+    else
+      List.fold_left
+        (fun acc p -> join_env acc (edge_fact cfg after p u))
+        Unreached cfg.Cfg.preds.(u)
+  in
+  while not (WL.is_empty !wl) do
+    let ((_, u) as el) = WL.min_elt !wl in
+    wl := WL.remove el !wl;
+    incr iterations;
+    let input = input_of u in
+    let new_before =
+      if widen_points.(u) && visited.(u) then widen_env ~thresholds before.(u) input
+      else input
+    in
+    before.(u) <- new_before;
+    let out = transfer ~note:nonote cfg.Cfg.nodes.(u) new_before in
+    let first = not visited.(u) in
+    visited.(u) <- true;
+    if first || not (equal_env out after.(u)) then begin
+      after.(u) <- out;
+      List.iter
+        (fun v -> if rpo.(v) >= 0 then wl := WL.add (rpo.(v), v) !wl)
+        cfg.Cfg.succs.(u)
+    end
+  done;
+  (* narrowing: recompute in RPO from unwidened inputs, refining only the
+     bounds widening pushed to infinity *)
+  for _ = 1 to narrowing_sweeps do
+    List.iter
+      (fun u ->
+        if visited.(u) then begin
+          let input = input_of u in
+          before.(u) <- narrow_env before.(u) input;
+          after.(u) <- transfer ~note:nonote cfg.Cfg.nodes.(u) before.(u)
+        end)
+      order
+  done;
+  (* final collection pass: guards, crash sites, return value *)
+  let guards = Array.make n None in
+  let crashes = ref [] in
+  let ret = ref ABot in
+  Array.iteri
+    (fun u node ->
+      match before.(u) with
+      | Unreached -> ()
+      | Env m -> (
+          match node with
+          | Cfg.Entry | Cfg.Exit -> ()
+          | Cfg.Stmt s ->
+              let note what ~definite =
+                let c = { c_sid = s.Ast.sid; c_what = what; c_definite = definite } in
+                if not (List.mem c !crashes) then crashes := c :: !crashes
+              in
+              ignore (transfer ~note node before.(u));
+              (match s.Ast.node with
+              | Ast.If (c, _, _) | Ast.While (c, _) | Ast.For (_, c, _, _) ->
+                  guards.(u) <- Some (to_abool (aeval ~note:nonote m c))
+              | Ast.Return e -> ret := join_aval !ret (aeval ~note:nonote m e)
+              | _ -> ())))
+    cfg.Cfg.nodes;
+  let reached = Array.map (fun e -> e <> Unreached) before in
+  {
+    cfg;
+    before;
+    after;
+    guards;
+    reached;
+    widen_points;
+    crashes = List.rev !crashes;
+    ret = !ret;
+    iterations = !iterations;
+  }
+
+(* ---------------- queries and the proof API ---------------- *)
+
+let env_lookup (e : env) x =
+  match e with Unreached -> ABot | Env m -> ( match VarMap.find_opt x m with Some v -> v | None -> ABot)
+
+(** Abstract value of [e] at the entry of the statement [sid] (expressions
+    are pure, so this covers every sub-expression evaluation the statement
+    performs). *)
+let aval_at (r : result) ~sid (e : Ast.expr) : aval =
+  match Cfg.node_of_sid r.cfg sid with
+  | None -> ATop
+  | Some u -> (
+      match r.before.(u) with
+      | Unreached -> ABot
+      | Env m -> aeval ~note:nonote m e)
+
+let interval_at r ~sid e = fst (to_int_parts (aval_at r ~sid e))
+
+(** Every execution reaching [sid] evaluates [e] to a nonzero integer. *)
+let proves_nonzero (r : result) ~sid (e : Ast.expr) : bool =
+  match aval_at r ~sid e with
+  | AInt (i, p) -> (not (Interval.contains i 0)) || p = P.Odd
+  | ABot -> true (* vacuous: the statement is never reached *)
+  | _ -> false
+
+(** Every execution reaching [sid] evaluates [idx] within the bounds of the
+    array [arr]. *)
+let proves_in_bounds (r : result) ~sid ~(arr : Ast.expr) (idx : Ast.expr) : bool =
+  match (aval_at r ~sid arr, aval_at r ~sid idx) with
+  | AArr (len, _), AInt (i, _) -> (
+      match (i, len) with
+      | Interval.Iv (Interval.Fin lo, Interval.Fin hi), Interval.Iv (Interval.Fin lmin, _)
+        ->
+          lo >= 0 && hi < lmin
+      | _ -> false)
+  | ABot, _ | _, ABot -> true (* vacuous *)
+  | _ -> false
+
+(** No execution reaching the branch statement [sid] takes the [taken]
+    outcome.  Conservative: only claims infeasibility for nodes the analysis
+    actually reached (a blind spot upstream would make the vacuous answer
+    useless to consumers like symexec). *)
+let proves_infeasible (r : result) ~sid ~(taken : bool) : bool =
+  match Cfg.node_of_sid r.cfg sid with
+  | None -> false
+  | Some u -> (
+      r.reached.(u)
+      && match r.guards.(u) with Some g -> not (B.contains g taken) | None -> false)
+
+(** Definite crash sites: statements where every execution crashes. *)
+let definite_crashes (r : result) =
+  List.filter (fun c -> c.c_definite) r.crashes
+
+(** Provably-dead branch arms: [(sid, taken)] pairs where the [taken]
+    outcome never happens, on reached branch nodes. *)
+let dead_branches (r : result) =
+  let acc = ref [] in
+  Array.iteri
+    (fun u g ->
+      match (g, Cfg.stmt_of r.cfg u) with
+      | Some g, Some s ->
+          if not g.B.may_t then acc := (s.Ast.sid, true) :: !acc;
+          if not g.B.may_f then acc := (s.Ast.sid, false) :: !acc
+      | _ -> ())
+    r.guards;
+  List.rev !acc
+
+let pp_env ppf (e : env) =
+  match e with
+  | Unreached -> Fmt.pf ppf "(unreached)"
+  | Env m ->
+      let bs = VarMap.bindings m in
+      Fmt.pf ppf "{%s}"
+        (String.concat ", "
+           (List.map (fun (x, v) -> Printf.sprintf "%s: %s" x (aval_to_string v)) bs))

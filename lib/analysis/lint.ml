@@ -10,7 +10,12 @@
       mutator's reachable dead stores, which are fine and deliberate);
     - {e guaranteed non-termination}: a loop whose guard is constant-true
       with no [break]/[return] inside — test generation would only ever
-      time out on it.
+      time out on it;
+    - {e definite division by zero}: the abstract interpreter proves the
+      divisor is exactly zero whenever the statement runs;
+    - {e provably-dead branch}: an interval-infeasible branch arm {e beyond}
+      what constant propagation already catches (those fall under
+      unreachable code) — the method carries code no test can ever reach.
 
     Dead stores are reported too but do not fail {!ok}: the corpus mutator
     plants them on purpose as surface-form noise. *)
@@ -21,10 +26,14 @@ type verdict = {
   uninit_uses : (string * int) list;  (* variable, sid of the reading stmt *)
   unreachable_sids : int list;
   nonterm_sids : int list;            (* loop-head sids *)
+  div_by_zero_sids : int list;        (* absint: divisor provably zero *)
+  dead_branch_sids : (int * bool) list;  (* absint: (branch sid, dead arm) *)
   dead_store_sids : int list;         (* informational only *)
 }
 
-let ok v = v.uninit_uses = [] && v.unreachable_sids = [] && v.nonterm_sids = []
+let ok v =
+  v.uninit_uses = [] && v.unreachable_sids = [] && v.nonterm_sids = []
+  && v.div_by_zero_sids = [] && v.dead_branch_sids = []
 
 (* A loop with a constant-true guard can only terminate through a [return]
    anywhere in its body or a [break] belonging to it (not to a nested
@@ -70,10 +79,42 @@ let check (meth : Ast.meth) : verdict =
                Some s.Ast.sid
            | _ -> None)
   in
+  let absint = Absint.analyze ~cfg meth in
+  let div_by_zero_sids =
+    Absint.definite_crashes absint
+    |> List.filter_map (fun (c : Absint.crash) ->
+           match c.Absint.c_what with
+           | "division by zero" | "modulo by zero" -> Some c.Absint.c_sid
+           | _ -> None)
+    |> List.sort_uniq compare
+  in
+  (* Interval-infeasible branch arms beyond constant guards (those already
+     fall under unreachable code).  Only arms hiding real code gate: an
+     empty dead arm makes nothing unreachable.  A loop head's dead false
+     arm is never flagged — a loop that only exits through [break] is fine,
+     and a loop that cannot exit at all is the nonterm gate's business. *)
+  let dead_branch_sids =
+    Absint.dead_branches absint
+    |> List.filter (fun (sid, taken) ->
+           match Cfg.node_of_sid cfg sid with
+           | None -> false
+           | Some i -> (
+               Constprop.guard_value consts i = None
+               &&
+               match Cfg.stmt_of cfg i with
+               | Some { Ast.node = Ast.If (_, b1, b2); _ } ->
+                   (if taken then b1 else b2) <> []
+               | Some { Ast.node = Ast.While (_, body) | Ast.For (_, _, _, body); _ }
+                 ->
+                   taken && body <> []
+               | _ -> false))
+  in
   {
     uninit_uses = Reaching.possibly_uninit reach;
     unreachable_sids = unreach.Unreachable.unreachable_sids;
     nonterm_sids;
+    div_by_zero_sids;
+    dead_branch_sids;
     dead_store_sids = Liveness.dead_stores live;
   }
 
@@ -89,6 +130,15 @@ let pp ppf v =
       Fmt.pf ppf "unreachable code: #%s@," (ids v.unreachable_sids);
     if v.nonterm_sids <> [] then
       Fmt.pf ppf "non-terminating loop: #%s@," (ids v.nonterm_sids);
+    if v.div_by_zero_sids <> [] then
+      Fmt.pf ppf "definite division by zero: #%s@," (ids v.div_by_zero_sids);
+    if v.dead_branch_sids <> [] then
+      Fmt.pf ppf "provably dead branch: %s@,"
+        (String.concat ", "
+           (List.map
+              (fun (sid, taken) ->
+                Printf.sprintf "#%d (%s arm)" sid (if taken then "then" else "else"))
+              v.dead_branch_sids));
     if v.dead_store_sids <> [] then
       Fmt.pf ppf "dead store (not a gate): #%s@," (ids v.dead_store_sids);
     Fmt.pf ppf "@]"

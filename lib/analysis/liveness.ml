@@ -30,12 +30,17 @@ let transfer node fact =
       List.fold_left (fun acc x -> VarSet.add x acc) killed (Cfg.uses_of_stmt s)
   | Cfg.Entry | Cfg.Exit -> fact
 
-type result = { cfg : Cfg.t; live_in : VarSet.t array; live_out : VarSet.t array }
+type result = {
+  cfg : Cfg.t;
+  live_in : VarSet.t array;
+  live_out : VarSet.t array;
+  iterations : int;
+}
 
-let analyze ?cfg (meth : Ast.meth) : result =
+let analyze ?cfg ?strategy (meth : Ast.meth) : result =
   let cfg = match cfg with Some c -> c | None -> Cfg.build meth in
-  let r = S.solve ~direction:Dataflow.Backward cfg ~init:VarSet.empty ~transfer in
-  { cfg; live_out = r.S.before; live_in = r.S.after }
+  let r = S.solve ~direction:Dataflow.Backward ?strategy cfg ~init:VarSet.empty ~transfer in
+  { cfg; live_out = r.S.before; live_in = r.S.after; iterations = r.S.iterations }
 
 (** Strong definitions whose value no path ever reads: the [sid]s of
     [Decl]/[Assign] statements assigning a variable dead immediately after.

@@ -123,3 +123,41 @@ let predict_class t tape ?view (ex : Common.enc_example) =
   | Some cls ->
       let program_embedding, _ = encode t tape ?view ex in
       Tensor.argmax (Autodiff.value (Linear.forward cls tape program_embedding))
+
+(** The program embedding vector itself (frozen; for probing). *)
+let embed_program t ?view (ex : Common.enc_example) =
+  let tape = Autodiff.tape () in
+  let program_embedding, _ = encode t tape ?view ex in
+  let v = Array.copy (Autodiff.value program_embedding) in
+  Autodiff.discard tape;
+  v
+
+(** Frozen per-statement embeddings (same contract as
+    {!Liger_core.Liger_model.statement_embeddings}): per statement id, the
+    mean of every trace-RNN state produced while executing that statement,
+    over all concrete traces the view exposes. *)
+let statement_embeddings t ?(view = Common.full_view) (ex : Common.enc_example) =
+  let tape = Autodiff.tape () in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (tr : Common.enc_trace) ->
+      for k = 0 to Common.select_concrete view tr - 1 do
+        let mem, _ = encode_concrete t tape ~var_name_ids:ex.Common.var_name_ids tr k in
+        List.iteri
+          (fun j h ->
+            let sid = tr.Common.steps.(j).Common.memo_key lsr 1 in
+            let v = Autodiff.value h in
+            match Hashtbl.find_opt tbl sid with
+            | Some (sum, n) ->
+                Array.iteri (fun i x -> sum.(i) <- sum.(i) +. x) v;
+                Hashtbl.replace tbl sid (sum, n + 1)
+            | None -> Hashtbl.add tbl sid (Array.copy v, 1))
+          mem
+      done)
+    (Common.select_traces view ex);
+  Autodiff.discard tape;
+  Hashtbl.fold
+    (fun sid (sum, n) acc ->
+      (sid, Array.map (fun x -> x /. float_of_int n) sum) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

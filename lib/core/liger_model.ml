@@ -241,3 +241,34 @@ let embed_program t ?view (ex : Common.enc_example) =
   let v = Array.copy (Autodiff.value program_embedding) in
   Autodiff.discard tape;
   v
+
+(** Frozen per-statement embeddings for the probing readouts
+    ({!Liger_eval.Probe}): for each statement id, the mean of every step
+    embedding H^e_{i,j} whose blended-trace step executes that statement,
+    over all traces the view exposes.  Returns [(sid, vector)] pairs in
+    statement-id order. *)
+let statement_embeddings t ?(view = Common.full_view) (ex : Common.enc_example) =
+  let tape = Autodiff.tape () in
+  let stats = { static_weight_sum = 0.0; fused_steps = 0 } in
+  let tree_memo = Hashtbl.create 32 in
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (tr : Common.enc_trace) ->
+      let mem, _ = encode_trace t tape ~view ~tree_memo ~stats tr in
+      List.iteri
+        (fun j h ->
+          let sid = tr.Common.steps.(j).Common.memo_key lsr 1 in
+          let v = Autodiff.value h in
+          match Hashtbl.find_opt tbl sid with
+          | Some (sum, n) ->
+              Array.iteri (fun i x -> sum.(i) <- sum.(i) +. x) v;
+              Hashtbl.replace tbl sid (sum, n + 1)
+          | None -> Hashtbl.add tbl sid (Array.copy v, 1))
+        mem)
+    (Common.select_traces view ex);
+  Autodiff.discard tape;
+  Hashtbl.fold
+    (fun sid (sum, n) acc ->
+      (sid, Array.map (fun x -> x /. float_of_int n) sum) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -68,6 +68,7 @@ type style = {
   rename : [ `Keep | `Roles | `Letters | `Uninformative ];
   rewrite : bool;  (* equivalent-expression rewrites *)
   dead : float;    (* dead-code insertion probability *)
+  defensive : float;  (* belt-and-braces guard insertion probability *)
 }
 
 let style_of_project project =
@@ -77,12 +78,16 @@ let style_of_project project =
     rename = Rng.choose srng [| `Keep; `Roles; `Roles; `Letters; `Uninformative |];
     rewrite = Rng.bernoulli srng 0.7;
     dead = Rng.choose srng [| 0.0; 0.3; 0.6 |];
+    defensive = Rng.choose srng [| 0.0; 0.35; 0.7 |];
   }
 
 let apply_style rng style meth =
   let meth = if style.rewrite then Mutate.rewrite_exprs rng meth else meth in
   let meth = if style.loop_p > 0.0 then Mutate.for_to_while ~p:style.loop_p rng meth else meth in
   let meth = if Rng.bernoulli rng style.dead then Mutate.insert_dead_code rng meth else meth in
+  let meth =
+    if Rng.bernoulli rng style.defensive then Mutate.insert_defensive_guard rng meth else meth
+  in
   match style.rename with
   | `Keep -> meth
   | `Roles -> Mutate.rename_random rng meth

@@ -213,7 +213,7 @@ let compute ctx ~corpus ~kind ~view =
             in
             let w, m = Zoo.liger ~config ~view ~vocab:c.Pipeline.vocab task in
             ({ w with Train.name = "LiGer-vanillaF3" }, Some m)
-        | Dypro_k -> (Zoo.dypro ~dim ~view ~vocab:c.Pipeline.vocab task, None)
+        | Dypro_k -> (fst (Zoo.dypro ~dim ~view ~vocab:c.Pipeline.vocab task), None)
         | Code2vec_k -> (Zoo.code2vec ~dim ~train:c.Pipeline.train task, None)
         | Code2seq_k -> (Zoo.code2seq ~dim ~train:c.Pipeline.train task, None)
       in

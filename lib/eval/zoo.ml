@@ -46,25 +46,29 @@ let liger ?(config = Liger_model.default_config) ?(view = Common.full_view) ?see
   in
   (wrap, model)
 
-(** DYPRO. *)
+(** DYPRO.  Returns the wrapper and the model itself (probing needs the
+    latter's frozen encoder). *)
 let dypro ?(dim = 16) ?(view = Common.full_view) ?seed ~vocab task =
   let model = Dypro.create ~dim ?seed vocab task in
-  {
-    Train.name = "DYPRO";
-    store = Dypro.store model;
-    train_loss = (fun tape ex -> Dypro.loss model tape ~view ex);
-    predict =
-      (fun ex ->
-        let tape = Autodiff.tape () in
-        let p =
-          prediction_of_task task
-            (fun ex -> Dypro.predict_name model tape ~view ex)
-            (fun ex -> Dypro.predict_class model tape ~view ex)
-            ex
-        in
-        Autodiff.discard tape;
-        p);
-  }
+  let wrap =
+    {
+      Train.name = "DYPRO";
+      store = Dypro.store model;
+      train_loss = (fun tape ex -> Dypro.loss model tape ~view ex);
+      predict =
+        (fun ex ->
+          let tape = Autodiff.tape () in
+          let p =
+            prediction_of_task task
+              (fun ex -> Dypro.predict_name model tape ~view ex)
+              (fun ex -> Dypro.predict_class model tape ~view ex)
+              ex
+          in
+          Autodiff.discard tape;
+          p);
+    }
+  in
+  (wrap, model)
 
 (** code2vec; builds its own token and label vocabularies from [train]. *)
 let code2vec ?(dim = 16) ?seed ~train task =

@@ -49,7 +49,7 @@ let oracle_seed_of ~gen_seed j = gen_seed + (1000003 * (j + 1))
    re-run the (expensive) gradient check on ever-smaller irrelevant methods. *)
 let shrink_attempts = function
   | "roundtrip" | "soundness" -> 2000
-  | "symexec" | "analysis" -> 600
+  | "symexec" | "analysis" | "absint" -> 600
   | "determinism" -> 100
   | _ -> 0
 

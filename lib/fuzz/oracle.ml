@@ -3,7 +3,7 @@
     Each oracle takes a seed (all randomness is recreated from it, so a
     verdict is a pure function of [(seed, program)] — which is what makes
     shrinking and replay deterministic) and a generated well-typed method,
-    and returns {!Pass}, {!Fail} or {!Skip}.  The six oracles:
+    and returns {!Pass}, {!Fail} or {!Skip}.  The seven oracles:
 
     1. [roundtrip]   — pretty-print → lex/parse → AST equality;
     2. [soundness]   — well-typed programs never raise interpreter
@@ -17,7 +17,10 @@
     5. [autodiff]    — backprop gradients match central finite differences
                        on randomly shaped model fragments (ignores the
                        program: the random shapes come from the seed);
-    6. [determinism] — the jobs=1 and jobs=N parallel pipelines produce
+    6. [absint]      — every concrete state observed by the interpreter
+                       lies inside the abstract interpreter's interval ×
+                       parity envelope at that statement;
+    7. [determinism] — the jobs=1 and jobs=N parallel pipelines produce
                        identical per-method testgen summaries (batch-level:
                        it maps a whole chunk of programs over the pool). *)
 
@@ -102,7 +105,7 @@ let check_soundness ~seed (m : Ast.meth) =
 (* 3. symbolic path replay vs. concrete ground truth                    *)
 (* ------------------------------------------------------------------ *)
 
-let symexec_config = { Symexec.max_paths = 24; max_steps = 300 }
+let symexec_config = { Symexec.max_paths = 24; max_steps = 300; max_unrolls = 12 }
 let symexec_replays = 4  (* solved paths replayed per program *)
 
 let sig_to_string s =
@@ -365,7 +368,63 @@ let check_autodiff ~seed (_ : Ast.meth) =
   grad_check store build
 
 (* ------------------------------------------------------------------ *)
-(* 6. jobs=1 vs jobs=N pipeline determinism                             *)
+(* 6. abstract interpretation soundness                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every concrete state the interpreter passes through must lie inside the
+   abstract envelope: after executing statement [sid], each bound variable's
+   value must be a member of the abstract value the interval×parity analysis
+   computed for the post-state of that statement ([record] fires after the
+   statement, so the right envelope is [after], not [before]).  A bound
+   concrete variable that the analysis maps to ⊥ — or a concretely executed
+   statement the analysis claims is unreached — is a soundness bug. *)
+
+let absint_runs = 6
+
+let check_absint ~seed (m : Ast.meth) =
+  let r = Absint.analyze m in
+  let rng = Rng.create seed in
+  let pool = Randgen.create_pool () in
+  let bad = ref None in
+  let observe (s : Interp.step) =
+    if !bad = None then
+      match Cfg.node_of_sid r.Absint.cfg s.Interp.step_sid with
+      | None ->
+          bad :=
+            Some (Printf.sprintf "executed statement #%d has no CFG node" s.Interp.step_sid)
+      | Some u ->
+          let env = r.Absint.after.(u) in
+          List.iter
+            (fun (x, v) ->
+              match v with
+              | None -> ()
+              | Some v ->
+                  if !bad = None && not (Absint.value_in (Absint.env_lookup env x) v) then
+                    bad :=
+                      Some
+                        (Printf.sprintf "after #%d, %s = %s escapes its abstract value %s"
+                           s.Interp.step_sid x (Value.to_display v)
+                           (Absint.aval_to_string (Absint.env_lookup env x))))
+            s.Interp.step_env
+  in
+  let rec go i =
+    if i >= absint_runs then Pass
+    else
+      let args = Randgen.args ~pool rng m in
+      ignore (Interp.run ~fuel:4000 ~on_step:observe m args);
+      match !bad with
+      | Some msg ->
+          Fail
+            (Printf.sprintf "%s on args [%s]" msg
+               (String.concat "; " (List.map Value.to_display args)))
+      | None ->
+          List.iter (Randgen.remember pool) args;
+          go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* 7. jobs=1 vs jobs=N pipeline determinism                             *)
 (* ------------------------------------------------------------------ *)
 
 let det_budget = { Feedback.max_attempts = 30; target_paths = 6; per_path = 2; fuel = 2000 }
@@ -422,6 +481,8 @@ let all : t list =
       kind = Per_prog check_analysis };
     { name = "autodiff"; doc = "backprop matches central finite differences";
       kind = Per_prog check_autodiff };
+    { name = "absint"; doc = "concrete states stay inside the abstract envelope";
+      kind = Per_prog check_absint };
     { name = "determinism"; doc = "jobs=1 and jobs=N testgen summaries agree";
       kind = Per_batch check_determinism };
   ]

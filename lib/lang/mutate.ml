@@ -222,6 +222,66 @@ let insert_dead_code rng (m : Ast.meth) =
   done;
   { m with body = !body }
 
+(* ---------------- defensive guards ---------------- *)
+
+let guard_names = [| "bound"; "floor"; "check" |]
+
+(** Plant a belt-and-braces guard: copy an int parameter into a fresh local,
+    clamp it non-negative, then wrap one existing assignment in a re-check
+    of the clamped invariant.  Concretely the re-check is always true — the
+    method's behaviour is unchanged — but its condition stays symbolic, so
+    static models see a spurious branch, while an interval analysis proves
+    the (empty) else-arm dead and a symbolic executor armed with one never
+    explores it.  Mined code is full of exactly this redundancy. *)
+let insert_defensive_guard rng (m : Ast.meth) =
+  let int_params =
+    List.filter_map (fun (ty, x) -> if ty = Ast.Tint then Some x else None) m.Ast.params
+  in
+  (* Candidate wrap targets: assignments reachable by the block traversal
+     (a [for] loop's update slot is deliberately not one — wrapping it would
+     leave the guard variable's clamp a dead store). *)
+  let rec collect_block acc block = List.fold_left collect_stmt acc block
+  and collect_stmt acc (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Assign _ | Ast.StoreIndex _ -> s.Ast.sid :: acc
+    | Ast.If (_, b1, b2) -> collect_block (collect_block acc b1) b2
+    | Ast.While (_, b) -> collect_block acc b
+    | Ast.For (_, _, _, b) -> collect_block acc b
+    | _ -> acc
+  in
+  match (int_params, collect_block [] m.Ast.body) with
+  | [], _ | _, [] -> m
+  | _, targets ->
+      let p = Rng.choose_list rng int_params in
+      let existing = Ast.declared_vars m in
+      let base = Rng.choose rng guard_names in
+      let rec fresh k =
+        let c = Printf.sprintf "%s%d" base k in
+        if List.mem c existing then fresh (k + 1) else c
+      in
+      let g = fresh 0 in
+      let target = Rng.choose_list rng targets in
+      let recheck = Ast.Binop (Ast.Ge, Ast.Var g, Ast.Int 0) in
+      let rec wrap_block block = List.map wrap_stmt block
+      and wrap_stmt (s : Ast.stmt) =
+        if s.Ast.sid = target then Ast.mk ~line:s.Ast.line (Ast.If (recheck, [ s ], []))
+        else
+          match s.Ast.node with
+          | Ast.If (c, b1, b2) -> { s with node = Ast.If (c, wrap_block b1, wrap_block b2) }
+          | Ast.While (c, b) -> { s with node = Ast.While (c, wrap_block b) }
+          | Ast.For (i, c, u, b) -> { s with node = Ast.For (i, c, u, wrap_block b) }
+          | _ -> s
+      in
+      let prelude =
+        [ Ast.mk (Ast.Decl (Ast.Tint, g, Ast.Var p));
+          Ast.mk
+            (Ast.If
+               ( Ast.Binop (Ast.Lt, Ast.Var g, Ast.Int 0),
+                 [ Ast.mk (Ast.Assign (g, Ast.Int 0)) ],
+                 [] )) ]
+      in
+      { m with body = prelude @ wrap_block m.Ast.body }
+
 (** Apply the full variation pipeline with independent random choices; used
     by the corpus generators to expand each template into many surface
     forms. *)
@@ -229,5 +289,6 @@ let variant ?(rename = true) ?(rewrite = true) ?(loops = true) ?(dead = true) rn
   let m = if rewrite then rewrite_exprs rng m else m in
   let m = if loops then for_to_while rng m else m in
   let m = if dead && Rng.bernoulli rng 0.4 then insert_dead_code rng m else m in
+  let m = if dead && Rng.bernoulli rng 0.3 then insert_defensive_guard rng m else m in
   let m = if rename then rename_random rng m else m in
   m

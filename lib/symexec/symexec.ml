@@ -10,9 +10,19 @@
     Scalar inputs ([int]/[bool]) are fully symbolic; arrays get a concrete
     length with symbolic cells; strings are concretized (see {!shapes}).
     Unsupported operations on symbolic operands (symbolic array index,
-    symbolic builtin argument) abort only the affected path. *)
+    symbolic builtin argument) abort only the affected path.
+
+    The abstract interpreter ({!Liger_analysis.Absint}) runs once per method
+    before exploration and its facts prune the search: a divisor the
+    intervals prove non-zero needs no [!= 0] side condition (counted in
+    [symexec.side_conditions_discharged]), and a fork arm the intervals
+    prove infeasible is never explored at all (counted in
+    [symexec.paths_pruned_by_absint]) — the solver would only have
+    discovered its unsatisfiability the hard way. *)
 
 open Liger_lang
+module Absint = Liger_analysis.Absint
+module Interval = Liger_analysis.Interval
 
 module StrMap = Map.Make (String)
 
@@ -26,9 +36,18 @@ type path_result = {
   outcome : outcome;
 }
 
-type config = { max_paths : int; max_steps : int }
+(* [max_unrolls] bounds how many times a single loop entry may fork on a
+   symbolic guard along one path.  Without it, depth-first exploration of a
+   loop whose bound is a symbolic input unrolls until the global path budget
+   runs dry, starving every sibling subtree forked before the loop (their
+   branches die at budget 0 without ever being explored).  At the bound the
+   executor stops splitting and follows only the exit arm — a genuine path
+   (the pc gains the negated guard), so replay stays exact; only deeper
+   iteration counts go unenumerated.  Concrete guards never count against
+   the bound: concretely-bounded loops already terminate by themselves. *)
+type config = { max_paths : int; max_steps : int; max_unrolls : int }
 
-let default_config = { max_paths = 64; max_steps = 600 }
+let default_config = { max_paths = 64; max_steps = 600; max_unrolls = 12 }
 
 exception Abort of string
 
@@ -58,10 +77,14 @@ let as_int = function
 (* [side] accumulates conditions the path must additionally satisfy for the
    evaluation to be crash-free: a symbolic divisor must be non-zero, or a
    solved model could make the concrete replay crash where the symbolic path
-   returned.  Constant subexpressions that crash abort the path outright
-   (Symval.binop would silently keep them as residual nodes), and [&&]/[||]
-   short-circuit on a constant left operand exactly like the interpreter. *)
-let rec eval side env (e : Ast.expr) : Symval.t =
+   returned.  [nz] asks the abstract interpreter whether a divisor is
+   provably non-zero at the current statement — if so the side condition is
+   discharged statically instead of being handed to the solver.  Constant
+   subexpressions that crash abort the path outright (Symval.binop would
+   silently keep them as residual nodes), and [&&]/[||] short-circuit on a
+   constant left operand exactly like the interpreter. *)
+let rec eval nz side env (e : Ast.expr) : Symval.t =
+  let eval side env e = eval nz side env e in
   match e with
   | Ast.Int n -> Symval.Const (Value.VInt n)
   | Ast.Bool b -> Symval.Const (Value.VBool b)
@@ -91,7 +114,8 @@ let rec eval side env (e : Ast.expr) : Symval.t =
           | Ast.Mod, Symval.Const (Value.VInt 0) -> raise (Abort "modulo by zero")
           | (Ast.Div | Ast.Mod), Symval.Const _ -> ()
           | (Ast.Div | Ast.Mod), _ ->
-              side := Symval.binop Ast.Ne vb (Symval.Const (Value.VInt 0)) :: !side
+              if nz b then Liger_obs.Metrics.incr "symexec.side_conditions_discharged"
+              else side := Symval.binop Ast.Ne vb (Symval.Const (Value.VInt 0)) :: !side
           | _ -> ());
           Symval.binop op va vb)
   | Ast.Unop (op, a) -> Symval.unop op (eval side env a)
@@ -135,12 +159,18 @@ let rec eval side env (e : Ast.expr) : Symval.t =
 let record st sid branch =
   { st with signature = (sid, branch) :: st.signature; steps = st.steps + 1 }
 
-(* Evaluate [e] in [st], conjoining any collected side conditions into the
-   path condition.  [Path.add] only returns [None] when a condition folds to
-   constant false, i.e. the path is guaranteed to crash here. *)
-let eval_pc st (e : Ast.expr) =
+(* Exploration context holding the global path budget and the method's
+   abstract-interpretation facts. *)
+type ctx = { cfg : config; mutable budget : int; absint : Absint.result }
+
+(* Evaluate [e] at statement [sid] in [st], conjoining any collected side
+   conditions into the path condition.  [Path.add] only returns [None] when
+   a condition folds to constant false, i.e. the path is guaranteed to
+   crash here. *)
+let eval_pc ctx st sid (e : Ast.expr) =
+  let nz d = Absint.proves_nonzero ctx.absint ~sid d in
   let side = ref [] in
-  let v = eval side st.env e in
+  let v = eval nz side st.env e in
   let pc =
     List.fold_left
       (fun pc c -> match pc with None -> None | Some pc -> Path.add c pc)
@@ -150,17 +180,22 @@ let eval_pc st (e : Ast.expr) =
   | None -> raise (Abort "division by zero")
   | Some pc -> (v, { st with pc })
 
-(* Exploration context holding the global path budget. *)
-type ctx = { cfg : config; mutable budget : int }
-
 (* Fork on a symbolic guard: returns the live (state, taken) continuations.
-   Infeasible constraint additions are pruned immediately. *)
+   Arms the abstract interpreter proves infeasible are never explored;
+   infeasible constraint additions are pruned immediately. *)
 let fork ctx st sid guard =
+  let pruned taken =
+    let p = Absint.proves_infeasible ctx.absint ~sid ~taken in
+    if p then Liger_obs.Metrics.incr "symexec.paths_pruned_by_absint";
+    p
+  in
   let follow taken =
-    let c = if taken then guard else Symval.not_ guard in
-    match Path.add c st.pc with
-    | None -> None
-    | Some pc -> Some ({ (record { st with pc } sid (Some taken)) with pc }, taken)
+    if pruned taken then None
+    else
+      let c = if taken then guard else Symval.not_ guard in
+      match Path.add c st.pc with
+      | None -> None
+      | Some pc -> Some ({ (record { st with pc } sid (Some taken)) with pc }, taken)
   in
   match guard with
   | Symval.Const (Value.VBool b) -> [ (record st sid (Some b), b) ]
@@ -184,12 +219,12 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
     try
       match s.Ast.node with
       | Ast.Decl (_, x, e) | Ast.Assign (x, e) ->
-          let v, st = eval_pc st e in
+          let v, st = eval_pc ctx st s.Ast.sid e in
           [ SNormal (record { st with env = StrMap.add x v st.env } s.Ast.sid None) ]
       | Ast.StoreIndex (x, i, e) -> (
-          let idx_v, st = eval_pc st i in
+          let idx_v, st = eval_pc ctx st s.Ast.sid i in
           let idx = as_int idx_v in
-          let v, st = eval_pc st e in
+          let v, st = eval_pc ctx st s.Ast.sid e in
           match lookup st.env x with
           | Symval.Arr cells ->
               if idx < 0 || idx >= Array.length cells then raise (Abort "index out of bounds");
@@ -199,7 +234,7 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
                   (record { st with env = StrMap.add x (Symval.Arr cells') st.env } s.Ast.sid None) ]
           | _ -> raise (Abort "store to non-array"))
       | Ast.StoreField (x, f, e) -> (
-          let v, st = eval_pc st e in
+          let v, st = eval_pc ctx st s.Ast.sid e in
           match lookup st.env x with
           | Symval.Obj fields ->
               let fields' = Array.map (fun (n, old) -> if n = f then (n, v) else (n, old)) fields in
@@ -209,7 +244,7 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
                   (record { st with env = StrMap.add x (Symval.Obj fields') st.env } s.Ast.sid None) ]
           | _ -> raise (Abort "store to non-object"))
       | Ast.If (c, then_b, else_b) ->
-          let guard, st = eval_pc st c in
+          let guard, st = eval_pc ctx st s.Ast.sid c in
           fork ctx st s.Ast.sid guard
           |> List.concat_map (fun (st', taken) ->
                  exec_block ctx st' (if taken then then_b else else_b))
@@ -220,33 +255,41 @@ and exec_stmt ctx st (s : Ast.stmt) : signal list =
                | SNormal st' -> exec_loop ctx st' s c body (Some update)
                | other -> [ other ])
       | Ast.Return e ->
-          let v, st = eval_pc st e in
+          let v, st = eval_pc ctx st s.Ast.sid e in
           [ SReturn (record st s.Ast.sid None, v) ]
       | Ast.Break -> [ SBreak (record st s.Ast.sid None) ]
       | Ast.Continue -> [ SContinue (record st s.Ast.sid None) ]
     with Abort msg -> [ SAbort (st, msg) ]
 
-and exec_loop ctx st (s : Ast.stmt) cond body update : signal list =
+and exec_loop ?(unrolls = 0) ctx st (s : Ast.stmt) cond body update : signal list =
   if st.steps >= ctx.cfg.max_steps then [ SAbort (st, "step budget exceeded") ]
   else
     try
-      let guard, st = eval_pc st cond in
-      fork ctx st s.Ast.sid guard
-      |> List.concat_map (fun (st', taken) ->
-             if not taken then [ SNormal st' ]
-             else
-               exec_block ctx st' body
-               |> List.concat_map (function
-                    | SNormal st'' | SContinue st'' -> (
-                        match update with
-                        | None -> exec_loop ctx st'' s cond body update
-                        | Some u ->
-                            exec_stmt ctx st'' u
-                            |> List.concat_map (function
-                                 | SNormal st3 -> exec_loop ctx st3 s cond body update
-                                 | other -> [ other ]))
-                    | SBreak st'' -> [ SNormal st'' ]
-                    | other -> [ other ]))
+      let guard, st = eval_pc ctx st s.Ast.sid cond in
+      let symbolic = match guard with Symval.Const _ -> false | _ -> true in
+      if symbolic && unrolls >= ctx.cfg.max_unrolls then
+        (* unroll bound: follow only the exit arm (see [config]) *)
+        match Path.add (Symval.not_ guard) st.pc with
+        | None -> [ SAbort (st, "loop unroll budget exceeded") ]
+        | Some pc -> [ SNormal (record { st with pc } s.Ast.sid (Some false)) ]
+      else
+        let unrolls = if symbolic then unrolls + 1 else unrolls in
+        fork ctx st s.Ast.sid guard
+        |> List.concat_map (fun (st', taken) ->
+               if not taken then [ SNormal st' ]
+               else
+                 exec_block ctx st' body
+                 |> List.concat_map (function
+                      | SNormal st'' | SContinue st'' -> (
+                          match update with
+                          | None -> exec_loop ~unrolls ctx st'' s cond body update
+                          | Some u ->
+                              exec_stmt ctx st'' u
+                              |> List.concat_map (function
+                                   | SNormal st3 -> exec_loop ~unrolls ctx st3 s cond body update
+                                   | other -> [ other ]))
+                      | SBreak st'' -> [ SNormal st'' ]
+                      | other -> [ other ]))
     with Abort msg -> [ SAbort (st, msg) ]
 
 (* ---------------- shapes and the public API ---------------- *)
@@ -279,12 +322,37 @@ let shape_inputs (meth : Ast.meth) shape =
   |> List.sort_uniq compare
   |> List.map (fun x -> (x, if List.mem x bool_params then Ast.Tbool else Ast.Tint))
 
-(** Explore all bounded paths of [meth] under [shape]. *)
-let explore ?(config = default_config) (meth : Ast.meth) ~shape : path_result list =
+(* Abstract argument values matching [shape]: the shape fixes every array
+   and string length, so the analysis may assume them.  The result is only
+   used to answer queries about executions that start from this shape —
+   exactly symexec's input universe — which is what lets it prove guards
+   like [a.length == 0] infeasible where the type-directed tops cannot. *)
+let absint_params_of_shape (meth : Ast.meth) shape =
+  List.map
+    (fun (ty, x) ->
+      match (ty, List.assoc_opt x shape) with
+      | Ast.Tarray, Some (Symval.Arr cells) ->
+          Absint.AArr
+            (Interval.const (Array.length cells), (Interval.top, Absint.P.top))
+      | Ast.Tstring, Some (Symval.Const (Value.VStr s)) ->
+          Absint.AStr (Interval.const (String.length s))
+      | _ -> Absint.of_type ty)
+    meth.Ast.params
+
+(** Explore all bounded paths of [meth] under [shape].  [absint] defaults to
+    a fresh abstract-interpretation run specialized to the shape's array and
+    string lengths (sound for every execution symexec can start); pass an
+    explicit result to reuse a shape-agnostic run instead. *)
+let explore ?(config = default_config) ?absint (meth : Ast.meth) ~shape : path_result list =
+  let absint =
+    match absint with
+    | Some r -> r
+    | None -> Absint.analyze ~params:(absint_params_of_shape meth shape) meth
+  in
   let env =
     List.fold_left (fun env (x, v) -> StrMap.add x v env) StrMap.empty shape
   in
-  let ctx = { cfg = config; budget = config.max_paths } in
+  let ctx = { cfg = config; budget = config.max_paths; absint } in
   let st0 = { env; pc = Path.empty; signature = []; steps = 0 } in
   exec_block ctx st0 meth.Ast.body
   |> List.map (fun signal ->

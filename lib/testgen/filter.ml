@@ -25,6 +25,8 @@ type reason =
   | Uninit_use        (* lint: a read may precede every assignment *)
   | Unreachable_code  (* lint: statements no execution can reach *)
   | Nonterm_loop      (* lint: constant-guard loop that cannot exit *)
+  | Div_by_zero       (* lint/absint: a divisor is provably zero *)
+  | Dead_branch       (* lint/absint: interval-infeasible branch arm *)
   | External_deps     (* references packages unavailable to the generator *)
   | Testgen_timeout   (* Randoop-analogue produced no usable execution *)
   | Too_small         (* "a couple of lines" *)
@@ -34,6 +36,8 @@ let reason_to_string = function
   | Uninit_use -> "use before init"
   | Unreachable_code -> "unreachable code"
   | Nonterm_loop -> "non-terminating loop"
+  | Div_by_zero -> "definite division by zero"
+  | Dead_branch -> "provably dead branch"
   | External_deps -> "missing external packages"
   | Testgen_timeout -> "test generation timeout"
   | Too_small -> "too small"
@@ -63,6 +67,8 @@ let classify ?budget rng (c : candidate) : verdict =
     if lint.Lint.uninit_uses <> [] then Dropped Uninit_use
     else if lint.Lint.nonterm_sids <> [] then Dropped Nonterm_loop
     else if lint.Lint.unreachable_sids <> [] then Dropped Unreachable_code
+    else if lint.Lint.div_by_zero_sids <> [] then Dropped Div_by_zero
+    else if lint.Lint.dead_branch_sids <> [] then Dropped Dead_branch
     else if c.uses_external then Dropped External_deps
     else if Ast.stmt_count c.meth < min_statements then Dropped Too_small
     else
@@ -107,8 +113,8 @@ let run ?budget rng (candidates : candidate list) =
     List.filter_map
       (fun r ->
         match Hashtbl.find_opt tally r with Some n -> Some (r, n) | None -> None)
-      [ No_compile; Uninit_use; Nonterm_loop; Unreachable_code; External_deps;
-        Testgen_timeout; Too_small ]
+      [ No_compile; Uninit_use; Nonterm_loop; Unreachable_code; Div_by_zero;
+        Dead_branch; External_deps; Testgen_timeout; Too_small ]
   in
   ( List.rev !kept,
     { original = List.length candidates; filtered = List.length !kept; by_reason } )

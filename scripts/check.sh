@@ -47,13 +47,27 @@ test -f obs_trace.json
 test -f obs_metrics.json
 dune exec --no-build bin/liger_cli.exe -- stats --validate obs_trace.json
 dune exec --no-build bin/liger_cli.exe -- stats --validate obs_metrics.json
-echo "   ok: obs_trace.json and obs_metrics.json validate"
+grep -q "symexec.paths_pruned_by_absint" obs_metrics.json || {
+  echo "   ERROR: absint pruned no symbolic paths on the standard corpus" >&2; exit 1; }
+echo "   ok: obs_trace.json and obs_metrics.json validate (absint pruning live)"
 
 echo "== differential fuzz smoke: fixed seed, all oracles, zero failures expected"
 # Fixed seed keeps this reproducible; any failure is shrunk and persisted
 # under fuzz/corpus/ (uploaded by CI) and can be rerun with --replay.
 dune exec --no-build bin/liger_cli.exe -- fuzz --seed 1 --iters 200 --budget-s 60
 echo "   ok: fuzz battery clean"
+
+echo "== absint soundness oracle: 200 fixed-seed programs, envelope must hold"
+dune exec --no-build bin/liger_cli.exe -- fuzz --seed 1 --iters 200 --budget-s 60 \
+  --oracle absint
+echo "   ok: concrete states stayed inside the abstract envelope"
+
+echo "== semantic probe smoke: frozen embeddings vs exact labels"
+dune exec --no-build bin/liger_cli.exe -- probe -n 30 --seed 1 --epochs 1 \
+  --probe-epochs 10 --out probe_accuracy.txt > /dev/null
+test -f probe_accuracy.txt
+grep -q "live-after" probe_accuracy.txt
+echo "   ok: probe_accuracy.txt written (uploaded as a CI artifact)"
 
 echo "== liger analyze (clean examples, strict)"
 for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do

@@ -490,6 +490,28 @@ let test_lint_nested_break_insufficient () =
   let v = Lint.check m in
   Alcotest.(check int) "outer loop still flagged" 1 (List.length v.Lint.nonterm_sids)
 
+let test_lint_loop_counter_dead_branch () =
+  (* needs the exact-corner interval upgrade: at the widened loop head the
+     counter is [0, +inf); the guard refinement caps it below intmax so the
+     increment stays finite, and i < 0 is then provably dead *)
+  let m =
+    parse
+      {|
+method f(int n) : int {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i < 0) { acc = acc - 1; }
+    acc = acc + 2;
+  }
+  return acc;
+}
+|}
+  in
+  let v = Lint.check m in
+  Alcotest.(check bool) "dead true-arm flagged" true
+    (List.exists (fun (_, taken) -> taken) v.Lint.dead_branch_sids);
+  Alcotest.(check bool) "gate fails" false (Lint.ok v)
+
 let test_lint_dead_store_not_a_gate () =
   let m = parse "method f(int n) : int { int unused0 = 3; return n; }" in
   let v = Lint.check m in
@@ -677,6 +699,381 @@ let test_slice_differential_on_generated_corpus () =
           done)
     taken
 
+(* ---------------- intervals ---------------- *)
+
+let iv = Alcotest.testable (Fmt.of_to_string Interval.to_string) Interval.equal
+
+let test_interval_arith () =
+  let open Interval in
+  Alcotest.check iv "add" (range 3 7) (add (range 1 2) (range 2 5));
+  Alcotest.check iv "sub" (range (-5) 1) (sub (range 1 2) (range 1 6));
+  Alcotest.check iv "mul signs" (range (-10) 15) (mul (range (-2) 3) (range 2 5));
+  Alcotest.check iv "neg" (range (-7) (-3)) (neg (range 3 7));
+  Alcotest.check iv "join" (range 0 9) (join (range 0 2) (range 7 9));
+  Alcotest.check iv "meet" (range 2 3) (meet (range 0 3) (range 2 9));
+  Alcotest.check iv "meet empty" bot (meet (range 0 1) (range 3 9));
+  (* division magnitude contracts; by zero-only divisor is bottom *)
+  Alcotest.check iv "div hull" (range (-9) 9) (div (range (-9) 9) (range 1 3));
+  Alcotest.check iv "div by zero only" bot (div (range 1 5) (const 0));
+  Alcotest.check iv "rem bound" (range 0 2) (rem (at_least 0) (const 3));
+  Alcotest.check iv "abs" (range 0 5) (abs_ (range (-3) 5));
+  (* overflow safety: huge operands degrade to top, never to a wrong bound *)
+  Alcotest.check iv "mul overflow tops" top (mul (const (1 lsl 40)) (const (1 lsl 40)));
+  Alcotest.check iv "add of one-sided tops" top (add (at_least 0) (const 1))
+
+let test_interval_widen_narrow () =
+  let open Interval in
+  Alcotest.check iv "widen grows to inf" (Iv (Fin 0, PosInf)) (widen (range 0 1) (range 0 5));
+  Alcotest.check iv "widen stable inside" (range 0 10) (widen (range 0 10) (range 2 5));
+  Alcotest.check iv "narrow refines inf only" (range 0 10)
+    (narrow (Iv (Fin 0, PosInf)) (range 0 10));
+  Alcotest.check iv "narrow keeps finite bounds" (range 0 3) (narrow (range 0 3) (range 1 2))
+
+let test_interval_exact_corners () =
+  let open Interval in
+  (* infinite bounds are widening bookkeeping; concretely they mean the
+     native int extremes, so a corner is computed exactly whenever
+     two's-complement arithmetic does not wrap *)
+  Alcotest.check iv "increment touches intmax"
+    (range 1 max_int)
+    (add (Iv (Fin 0, Fin (max_int - 1))) (const 1));
+  Alcotest.check iv "wrapping corner degrades to top" top (add (range 0 max_int) (const 1));
+  Alcotest.check iv "sub exact near intmin"
+    (range (min_int + 2) 1)
+    (sub (range 0 1) (range 0 (max_int - 1)));
+  (* refinement reads through an unbounded right-hand side: i < n with
+     n <= intmax still caps i at intmax - 1, which is what keeps a loop
+     counter increment exact instead of topping at the widened head *)
+  Alcotest.check iv "refine_lt vs +inf bound"
+    (range 0 (max_int - 1))
+    (refine_lt (at_least 0) (Iv (Fin 0, PosInf)));
+  Alcotest.check iv "refine_ge vs -inf bound" (at_least min_int)
+    (refine_ge top (Iv (NegInf, Fin 5)))
+
+let test_parity () =
+  let open Interval.Parity in
+  Alcotest.(check bool) "even+odd=odd" true (add Even Odd = Odd);
+  Alcotest.(check bool) "odd*odd=odd" true (mul Odd Odd = Odd);
+  Alcotest.(check bool) "even absorbs mul" true (mul Even PTop = Even);
+  Alcotest.(check bool) "join" true (join Even Odd = PTop);
+  Alcotest.(check bool) "contains" true (contains Odd 7 && not (contains Odd 4))
+
+(* ---------------- abstract interpretation ---------------- *)
+
+let sid_of cfg p =
+  match Cfg.stmt_of cfg (find_stmt_node cfg p) with
+  | Some s -> s.Ast.sid
+  | None -> assert false
+
+let ret_sid cfg =
+  sid_of cfg (fun s -> match s.Ast.node with Ast.Return _ -> true | _ -> false)
+
+let test_absint_loop_bounds () =
+  let m =
+    parse
+      {|
+method f(int n) : int {
+  int s = 0;
+  for (int i = 0; i < 10; i++) { s = s + i; }
+  return i;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  (* widening tops the counter at the head; narrowing + the exit-edge
+     refinement pin it back to exactly 10 at the return *)
+  Alcotest.check iv "i = 10 at return" (Interval.const 10)
+    (Absint.interval_at r ~sid:(ret_sid r.Absint.cfg) (Ast.Var "i"))
+
+let test_absint_branch_refinement () =
+  let m =
+    parse
+      {|
+method f(int x) : int {
+  if (x < 0) { return 0 - 1; }
+  if (x > 100) { return 101; }
+  return x;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  let last =
+    sid_of r.Absint.cfg (fun s ->
+        match s.Ast.node with Ast.Return (Ast.Var "x") -> true | _ -> false)
+  in
+  Alcotest.check iv "x in [0,100] at fallthrough" (Interval.range 0 100)
+    (Absint.interval_at r ~sid:last (Ast.Var "x"))
+
+let test_absint_widening_terminates_nested () =
+  (* nested loops with loop-carried increments and a self-copy: the shapes
+     that historically oscillated in constprop must hit a fixpoint here *)
+  let m =
+    parse
+      {|
+method f(int n) : int {
+  int a = 0;
+  int c = 0;
+  while (a < n) {
+    a = a + 1;
+    int b = 0;
+    while (b < a) {
+      b = b + 2;
+      c = c + b;
+    }
+    c = c;
+  }
+  return c;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  (* the unbounded counters correctly degrade to top (they could wrap in the
+     limit) — what matters is that the fixpoint terminated and stayed sound *)
+  Alcotest.(check bool) "terminated and reached exit" true r.Absint.reached.(Cfg.exit_);
+  (* bounded nested loops keep exact bounds through widening + narrowing *)
+  let m2 =
+    parse
+      {|
+method g() : int {
+  int c = 0;
+  for (int a = 0; a < 8; a++) {
+    for (int b = 0; b < a; b++) { c = c + 1; }
+  }
+  return c;
+}
+|}
+  in
+  let r2 = Absint.analyze m2 in
+  Alcotest.check iv "outer counter pinned at loop exit" (Interval.const 8)
+    (Absint.interval_at r2 ~sid:(ret_sid r2.Absint.cfg) (Ast.Var "a"))
+
+let test_absint_self_copy_terminates () =
+  let m =
+    parse
+      {|
+method f(int n) : int {
+  int x = 0;
+  int y = 5;
+  while (x < n) {
+    y = y;
+    x = x + 1;
+  }
+  return y;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  Alcotest.check iv "self-copy stays constant" (Interval.const 5)
+    (Absint.interval_at r ~sid:(ret_sid r.Absint.cfg) (Ast.Var "y"))
+
+let test_absint_parity_tracked () =
+  let m =
+    parse
+      {|
+method f(int n) : int {
+  int x = 0;
+  while (x < n) { x = x + 2; }
+  return x;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  match Absint.aval_at r ~sid:(ret_sid r.Absint.cfg) (Ast.Var "x") with
+  | Absint.AInt (_, p) ->
+      Alcotest.(check bool) "x stays even through the loop" true (p = Interval.Parity.Even)
+  | v -> Alcotest.failf "expected int, got %s" (Absint.aval_to_string v)
+
+let test_absint_proof_api () =
+  let m =
+    parse
+      {|
+method f(int[] a, int y) : int {
+  int s = 0;
+  for (int i = 0; i < 5; i++) {
+    int d = i + 1;
+    s = s + y / d;
+  }
+  int[] b = new int[5];
+  b[4] = s;
+  return s / (2 * abs(y) + 1);
+}
+|}
+  in
+  let r = Absint.analyze m in
+  let cfg = r.Absint.cfg in
+  let div_sid =
+    sid_of cfg (fun s ->
+        match s.Ast.node with Ast.Assign ("s", _) -> true | _ -> false)
+  in
+  Alcotest.(check bool) "divisor i+1 proven nonzero" true
+    (Absint.proves_nonzero r ~sid:div_sid (Ast.Var "d"));
+  let store_sid =
+    sid_of cfg (fun s -> match s.Ast.node with Ast.StoreIndex _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "b[4] proven in bounds" true
+    (Absint.proves_in_bounds r ~sid:store_sid ~arr:(Ast.Var "b") (Ast.Int 4));
+  (* 2*abs(y)+1 is odd, hence nonzero, even though its interval is unbounded *)
+  let rsid = ret_sid cfg in
+  Alcotest.(check bool) "2*abs(y)+1 proven nonzero by parity" true
+    (Absint.proves_nonzero r ~sid:rsid
+       (Ast.Binop
+          ( Ast.Add,
+            Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Call ("abs", [ Ast.Var "y" ])),
+            Ast.Int 1 )))
+
+let test_absint_infeasible_and_dead_branches () =
+  let m =
+    parse
+      {|
+method f(int n) : int {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i < 0) { s = s + 100; }
+    s = s + 1;
+  }
+  return s;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  let if_sid =
+    sid_of r.Absint.cfg (fun s -> match s.Ast.node with Ast.If _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "true arm infeasible" true
+    (Absint.proves_infeasible r ~sid:if_sid ~taken:true);
+  Alcotest.(check bool) "false arm feasible" false
+    (Absint.proves_infeasible r ~sid:if_sid ~taken:false);
+  Alcotest.(check bool) "reported as dead branch" true
+    (List.mem (if_sid, true) (Absint.dead_branches r))
+
+let test_absint_definite_div_by_zero () =
+  let m =
+    parse
+      {|
+method f(int x) : int {
+  int z = 0;
+  return x / z;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  match Absint.definite_crashes r with
+  | [ c ] ->
+      Alcotest.(check string) "what" "division by zero" c.Absint.c_what
+  | cs -> Alcotest.failf "expected exactly one definite crash, got %d" (List.length cs)
+
+let test_absint_builtin_summaries () =
+  let m =
+    parse
+      {|
+method f(int x, string s) : int {
+  int a = abs(x);
+  int o = ord(charAt(s, 0));
+  int m = max(a, 1);
+  return m + o;
+}
+|}
+  in
+  let r = Absint.analyze m in
+  let rsid = ret_sid r.Absint.cfg in
+  (match Absint.interval_at r ~sid:rsid (Ast.Var "o") with
+  | Interval.Iv (Interval.Fin lo, Interval.Fin hi) ->
+      Alcotest.(check bool) "ord in [0,255]" true (lo >= 0 && hi <= 255)
+  | other -> Alcotest.failf "expected finite ord range, got %s" (Interval.to_string other));
+  (match Absint.interval_at r ~sid:rsid (Ast.Var "m") with
+  | Interval.Iv (Interval.Fin lo, _) -> Alcotest.(check bool) "max >= 1" true (lo >= 1)
+  | other -> Alcotest.failf "expected max >= 1, got %s" (Interval.to_string other));
+  (* charAt with an unconstrained index may crash *)
+  Alcotest.(check bool) "charAt may crash" true
+    (List.exists (fun c -> c.Absint.c_what = "charAt: out of range") r.Absint.crashes)
+
+(* ---------------- dominators ---------------- *)
+
+let test_dominators_diamond () =
+  let m =
+    parse
+      {|
+method f(int x) : int {
+  int y = 0;
+  if (x > 0) { y = 1; } else { y = 2; }
+  return y;
+}
+|}
+  in
+  let cfg = Cfg.build m in
+  let dom = Dominator.dominators cfg in
+  let branch = find_stmt_node cfg (fun s -> match s.Ast.node with Ast.If _ -> true | _ -> false) in
+  let t = find_stmt_node cfg (fun s -> s.Ast.node = Ast.Assign ("y", Ast.Int 1)) in
+  let f = find_stmt_node cfg (fun s -> s.Ast.node = Ast.Assign ("y", Ast.Int 2)) in
+  let join = find_stmt_node cfg (fun s -> match s.Ast.node with Ast.Return _ -> true | _ -> false) in
+  Alcotest.(check (option int)) "idom(t) = branch" (Some branch) dom.Dominator.idom.(t);
+  Alcotest.(check (option int)) "idom(f) = branch" (Some branch) dom.Dominator.idom.(f);
+  Alcotest.(check (option int)) "idom(join) = branch" (Some branch) dom.Dominator.idom.(join);
+  Alcotest.(check bool) "branch sdom join" true (Dominator.strictly_dominates dom branch join);
+  Alcotest.(check bool) "arm !dom join" false (Dominator.dominates dom t join);
+  (* postdominators: the join postdominates both arms and the branch *)
+  let pdom = Dominator.postdominators cfg in
+  Alcotest.(check bool) "join pdom branch" true (Dominator.dominates pdom join branch);
+  Alcotest.(check bool) "join pdom t" true (Dominator.dominates pdom join t)
+
+let test_dominators_nested_loop () =
+  let m = parse sort3_src in
+  let cfg = Cfg.build m in
+  let dom = Dominator.dominators cfg in
+  let wh = find_stmt_node cfg (fun s -> match s.Ast.node with Ast.While _ -> true | _ -> false) in
+  let fo = find_stmt_node cfg (fun s -> match s.Ast.node with Ast.For _ -> true | _ -> false) in
+  let inner_if = find_stmt_node cfg (fun s -> match s.Ast.node with Ast.If _ -> true | _ -> false) in
+  Alcotest.(check bool) "while head dominates for head" true
+    (Dominator.strictly_dominates dom wh fo);
+  Alcotest.(check bool) "for head dominates inner if" true
+    (Dominator.strictly_dominates dom fo inner_if);
+  Alcotest.(check bool) "inner if does not dominate for head" false
+    (Dominator.dominates dom inner_if fo);
+  (* every reachable node is dominated by entry *)
+  Array.iteri
+    (fun i r ->
+      if r then
+        Alcotest.(check bool) "entry dominates all" true (Dominator.dominates dom Cfg.entry i))
+    dom.Dominator.reachable
+
+let test_dominators_unreachable_node () =
+  let m =
+    parse
+      {|
+method f(int x) : int {
+  return x;
+  int y = 1;
+  return y;
+}
+|}
+  in
+  let cfg = Cfg.build m in
+  let dom = Dominator.dominators cfg in
+  let dead = find_stmt_node cfg (fun s -> s.Ast.node = Ast.Decl (Ast.Tint, "y", Ast.Int 1)) in
+  Alcotest.(check (option int)) "unreachable has no idom" None dom.Dominator.idom.(dead);
+  Alcotest.(check bool) "unreachable dominates nothing" false
+    (Dominator.dominates dom dead Cfg.exit_);
+  Alcotest.(check bool) "nothing dominates unreachable" false
+    (Dominator.dominates dom Cfg.entry dead)
+
+(* ---------------- solver strategy regression ---------------- *)
+
+let test_rpo_fewer_iterations_than_fifo () =
+  let m = parse sort3_src in
+  let live_rpo = Liveness.analyze ~strategy:`Rpo m in
+  let live_fifo = Liveness.analyze ~strategy:`Fifo m in
+  (* identical least fixpoint either way *)
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool) "same live-in facts" true
+        (Dataflow.VarSet.equal s live_fifo.Liveness.live_in.(i)))
+    live_rpo.Liveness.live_in;
+  Alcotest.(check bool)
+    (Printf.sprintf "rpo (%d) converges in fewer iterations than fifo (%d)"
+       live_rpo.Liveness.iterations live_fifo.Liveness.iterations)
+    true
+    (live_rpo.Liveness.iterations < live_fifo.Liveness.iterations)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_planted_dead_code_flagged; prop_folding_preserves_semantics ]
@@ -740,9 +1137,43 @@ let () =
             test_lint_nested_break_insufficient;
           Alcotest.test_case "dead store not a gate" `Quick
             test_lint_dead_store_not_a_gate;
+          Alcotest.test_case "loop counter dead branch" `Quick
+            test_lint_loop_counter_dead_branch;
         ] );
       ( "filter",
         [ Alcotest.test_case "new drop reasons" `Quick test_filter_new_drop_reasons ] );
+      ( "interval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interval_arith;
+          Alcotest.test_case "exact corners" `Quick test_interval_exact_corners;
+          Alcotest.test_case "widen/narrow" `Quick test_interval_widen_narrow;
+          Alcotest.test_case "parity" `Quick test_parity;
+        ] );
+      ( "absint",
+        [
+          Alcotest.test_case "loop bounds via narrowing" `Quick test_absint_loop_bounds;
+          Alcotest.test_case "branch refinement" `Quick test_absint_branch_refinement;
+          Alcotest.test_case "widening terminates (nested)" `Quick
+            test_absint_widening_terminates_nested;
+          Alcotest.test_case "self-copy terminates" `Quick test_absint_self_copy_terminates;
+          Alcotest.test_case "parity through loop" `Quick test_absint_parity_tracked;
+          Alcotest.test_case "proof api" `Quick test_absint_proof_api;
+          Alcotest.test_case "infeasible/dead branches" `Quick
+            test_absint_infeasible_and_dead_branches;
+          Alcotest.test_case "definite div by zero" `Quick test_absint_definite_div_by_zero;
+          Alcotest.test_case "builtin summaries" `Quick test_absint_builtin_summaries;
+        ] );
+      ( "dominator",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominators_diamond;
+          Alcotest.test_case "nested loops" `Quick test_dominators_nested_loop;
+          Alcotest.test_case "unreachable node" `Quick test_dominators_unreachable_node;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "rpo beats fifo on loops" `Quick
+            test_rpo_fewer_iterations_than_fifo;
+        ] );
       ( "slice",
         [
           Alcotest.test_case "drops irrelevant" `Quick test_slice_drops_irrelevant;

@@ -284,6 +284,78 @@ let test_pipeline_unseen_tokens_map_to_unk () =
   in
   List.iter check_ids corpus.Pipeline.test
 
+(* ------------------------------------------------------------------ *)
+(* Semantic probing labels                                             *)
+(* ------------------------------------------------------------------ *)
+
+let probing_src =
+  {|
+method f(int n) : int {
+  int s = 0;
+  int d = 7;
+  if (n > 0) {
+    s = n;
+  }
+  return s;
+}
+|}
+
+let test_probing_labels_exact () =
+  let m = Parser.method_of_string probing_src in
+  let labels = Probing.label_method m in
+  let sid_of pred = (List.find (fun s -> pred s.Ast.node) (Ast.all_stmts m)).Ast.sid in
+  let decl_s = sid_of (function Ast.Decl (_, "s", _) -> true | _ -> false) in
+  let decl_d = sid_of (function Ast.Decl (_, "d", _) -> true | _ -> false) in
+  let branch = sid_of (function Ast.If _ -> true | _ -> false) in
+  let assign = sid_of (function Ast.Assign ("s", _) -> true | _ -> false) in
+  let ret = sid_of (function Ast.Return _ -> true | _ -> false) in
+  let cls sid task =
+    match
+      List.find_opt (fun e -> e.Probing.p_sid = sid && e.Probing.p_task = task) labels
+    with
+    | Some e -> e.Probing.p_class
+    | None -> Alcotest.failf "no %s label for #%d" (Probing.task_name task) sid
+  in
+  (* live-after: s flows to the return, d is dead *)
+  Alcotest.(check int) "s live after decl" 1 (cls decl_s Probing.Live_after);
+  Alcotest.(check int) "d dead after decl" 0 (cls decl_d Probing.Live_after);
+  Alcotest.(check int) "s live after assign" 1 (cls assign Probing.Live_after);
+  (* dominating-branch: only the then-arm sits under a decision *)
+  Alcotest.(check int) "assign under branch" 1 (cls assign Probing.Dominating_branch);
+  Alcotest.(check int) "branch itself is not" 0 (cls branch Probing.Dominating_branch);
+  Alcotest.(check int) "return is not" 0 (cls ret Probing.Dominating_branch);
+  (* always-reached: everything but the conditional arm dominates exit *)
+  Alcotest.(check int) "decl always reached" 1 (cls decl_s Probing.Always_reached);
+  Alcotest.(check int) "branch always reached" 1 (cls branch Probing.Always_reached);
+  Alcotest.(check int) "assign conditional" 0 (cls assign Probing.Always_reached);
+  Alcotest.(check int) "return always reached" 1 (cls ret Probing.Always_reached);
+  (* sign-at-exit: s = 0 is zero, d = 7 positive, s = n under n > 0 positive *)
+  Alcotest.(check int) "s zero at decl" 1 (cls decl_s Probing.Sign_at_exit);
+  Alcotest.(check int) "d positive" 2 (cls decl_d Probing.Sign_at_exit);
+  Alcotest.(check int) "s positive after guard" 2 (cls assign Probing.Sign_at_exit);
+  (* the If and Return define nothing: no live-after / sign labels *)
+  Alcotest.(check bool) "no def labels on branch" true
+    (List.for_all
+       (fun e -> not (e.Probing.p_sid = branch && e.Probing.p_task = Probing.Live_after))
+       labels);
+  (* tallies cover every class-indexed bucket *)
+  let t = Probing.tally Probing.Live_after labels in
+  Alcotest.(check int) "live-after labels" 3 (Array.fold_left ( + ) 0 t)
+
+let test_probing_labels_total () =
+  (* every reachable statement gets the two control-flow labels, and label
+     classes stay within range on a generated corpus slice *)
+  let items = Javagen.generate (Rng.create 5) ~n:10 in
+  List.iter
+    (fun (it : Javagen.item) ->
+      let labels = Probing.label_method it.Javagen.candidate.Filter.meth in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "class in range" true
+            (e.Probing.p_class >= 0 && e.Probing.p_class < Probing.classes e.Probing.p_task))
+        labels)
+    items
+
 let () =
   Alcotest.run "dataset"
     [
@@ -314,5 +386,10 @@ let () =
           Alcotest.test_case "naming corpus" `Slow test_pipeline_naming;
           Alcotest.test_case "coset corpus" `Slow test_pipeline_coset;
           Alcotest.test_case "frozen vocab ids" `Slow test_pipeline_unseen_tokens_map_to_unk;
+        ] );
+      ( "probing",
+        [
+          Alcotest.test_case "exact labels" `Quick test_probing_labels_exact;
+          Alcotest.test_case "generated corpus labels" `Quick test_probing_labels_total;
         ] );
     ]

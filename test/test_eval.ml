@@ -155,6 +155,40 @@ let capture f =
   Sys.remove buf;
   s
 
+(* ------------------------------------------------------------------ *)
+(* Semantic probing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_readout_smoke () =
+  (* an (untrained) frozen encoder still yields a full probe report: every
+     task with data gets a row, counts are positive and scores are rates *)
+  let c = Lazy.force corpus in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let _, model =
+    Zoo.liger
+      ~config:{ Liger_model.default_config with Liger_model.dim = 6 }
+      ~vocab:c.Pipeline.vocab Liger_model.Naming
+  in
+  let report =
+    Probe.probe ~epochs:3 (Rng.create 3) (Probe.of_liger model)
+      ~train:(take 12 c.Pipeline.train) ~test:(take 6 c.Pipeline.valid)
+  in
+  Alcotest.(check string) "model name" "LiGer" report.Probe.model;
+  Alcotest.(check bool) "at least three tasks" true (List.length report.Probe.rows >= 3);
+  List.iter
+    (fun (r : Probe.row) ->
+      Alcotest.(check bool) "train examples" true (r.Probe.r_train > 0);
+      Alcotest.(check bool) "test examples" true (r.Probe.r_test > 0);
+      Alcotest.(check bool) "majority is a rate" true
+        (r.Probe.r_majority >= 0.0 && r.Probe.r_majority <= 1.0);
+      Alcotest.(check bool) "accuracy is a rate" true
+        (r.Probe.r_accuracy >= 0.0 && r.Probe.r_accuracy <= 1.0))
+    report.Probe.rows;
+  let table = Probe.render [ report ] in
+  Alcotest.(check string) "table header" "task" (String.sub table 0 4);
+  Alcotest.(check int) "one line per row" (2 + List.length report.Probe.rows)
+    (List.length (String.split_on_char '\n' table))
+
 let test_report_table2_renders () =
   let scale =
     { Experiments.quick with Experiments.med_n = 40; Experiments.large_n = 40;
@@ -196,4 +230,5 @@ let () =
           Alcotest.test_case "view normalization" `Slow test_view_normalization_hits_cache;
         ] );
       ("report", [ Alcotest.test_case "table2 renders" `Slow test_report_table2_renders ]);
+      ("probe", [ Alcotest.test_case "readout smoke" `Slow test_probe_readout_smoke ]);
     ]

@@ -1,5 +1,5 @@
 (* Tests for the differential fuzzing subsystem: the well-typed generator,
-   the greedy shrinker, the six oracles and the replay path.
+   the greedy shrinker, the seven oracles and the replay path.
 
    The full battery on a fixed seed must pass with zero failures — any
    failure here is a real disagreement between two pipeline halves and
@@ -180,6 +180,20 @@ let test_autodiff_oracle_fragments () =
     check "autodiff" ~seed (parse "method f() : int { return 0; }") `Pass
   done
 
+let test_absint_oracle_envelope () =
+  (* loops (widened intervals), array traffic and branch refinement must all
+     keep the concrete states inside the abstract envelope *)
+  List.iter
+    (fun src -> check "absint" ~seed:4 (parse src) `Pass)
+    [
+      "method f(int n) : int { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } \
+       return s; }";
+      "method f(int[] a) : int { int s = 0; for (int i = 0; i < a.length; i++) { s += a[i]; } \
+       return s; }";
+      "method f(int x) : int { if (x > 0) { return x * 2; } return 0 - x; }";
+      "method f(bool b) : int { int x = 0; if (b) { x = 7; } return x; }";
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Driver: smoke, determinism, replay                                  *)
 (* ------------------------------------------------------------------ *)
@@ -271,6 +285,7 @@ let () =
           Alcotest.test_case "symexec replays" `Quick test_symexec_oracle_replays;
           Alcotest.test_case "analysis preserves" `Quick test_analysis_oracle_preserves;
           Alcotest.test_case "autodiff fragments" `Quick test_autodiff_oracle_fragments;
+          Alcotest.test_case "absint envelope" `Quick test_absint_oracle_envelope;
         ] );
       ( "driver",
         [

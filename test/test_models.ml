@@ -234,7 +234,7 @@ let smoke_model (wrapper : Train.model) ex =
 
 let test_dypro_smoke () =
   let c = Lazy.force corpus in
-  smoke_model (Zoo.dypro ~dim:8 ~vocab:c.Pipeline.vocab Liger_model.Naming) (first_example ())
+  smoke_model (fst (Zoo.dypro ~dim:8 ~vocab:c.Pipeline.vocab Liger_model.Naming)) (first_example ())
 
 let test_code2vec_smoke () =
   let c = Lazy.force corpus in
@@ -247,7 +247,7 @@ let test_code2seq_smoke () =
 let test_baseline_class_heads () =
   let c = Lazy.force coset_corpus in
   let ex = List.hd c.Pipeline.train in
-  smoke_model (Zoo.dypro ~dim:8 ~vocab:c.Pipeline.vocab (Liger_model.Classify Coset.n_classes)) ex
+  smoke_model (fst (Zoo.dypro ~dim:8 ~vocab:c.Pipeline.vocab (Liger_model.Classify Coset.n_classes))) ex
 
 let test_ast_paths_extraction () =
   let m =

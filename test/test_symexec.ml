@@ -167,7 +167,7 @@ let test_explores_all_scalar_paths () =
 let test_loop_paths_bounded () =
   let m = parse sum_src in
   let shape = Symexec.shape_of_params m.Ast.params in
-  let results = Symexec.explore ~config:{ Symexec.max_paths = 16; max_steps = 200 } m ~shape in
+  let results = Symexec.explore ~config:{ Symexec.max_paths = 16; max_steps = 200; max_unrolls = 12 } m ~shape in
   Alcotest.(check bool) "several unrollings" true (List.length results > 3);
   Alcotest.(check bool) "bounded" true (List.length results <= 40)
 
@@ -284,6 +284,59 @@ let test_short_circuit_matches_interp () =
   | rs -> Alcotest.failf "expected one aborted path, got %d" (List.length rs)
 
 (* ------------------------------------------------------------------ *)
+(* Abstract-interpretation assisted exploration                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] with metrics on and a clean symexec namespace; returns (result,
+   snapshot). *)
+let with_symexec_metrics f =
+  Liger_obs.Metrics.enable ();
+  Liger_obs.Metrics.reset_prefix "symexec.";
+  let r = f () in
+  let snap = Liger_obs.Metrics.snapshot () in
+  Liger_obs.Metrics.disable ();
+  (r, snap)
+
+let test_absint_prunes_infeasible_paths () =
+  (* the early return refines x >= 0 on the fall-through, so the second
+     guard is provably false: symexec never forks its then-arm *)
+  let m =
+    parse
+      "method f(int x) : int { int y = 0; if (x < 0) { return 0; } if (x < -5) { y = 1; } \
+       return y; }"
+  in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  let results, snap = with_symexec_metrics (fun () -> Symexec.explore m ~shape) in
+  let returned =
+    List.filter
+      (fun r -> match r.Symexec.outcome with Symexec.Sym_returned _ -> true | _ -> false)
+      results
+  in
+  Alcotest.(check int) "two live paths" 2 (List.length returned);
+  Alcotest.(check bool) "pruned counter bumped" true
+    (Liger_obs.Metrics.counter_value snap "symexec.paths_pruned_by_absint" > 0)
+
+let test_absint_discharges_divisor_side_conditions () =
+  (* the guard proves x >= 1 inside the then-arm, so the divisor's != 0
+     side condition is discharged statically instead of burdening the
+     path condition *)
+  let m = parse "method f(int x) : int { if (x > 0) { return 10 / x; } return 0; }" in
+  let shape = Symexec.shape_of_params m.Ast.params in
+  let _, snap = with_symexec_metrics (fun () -> Symexec.explore m ~shape) in
+  Alcotest.(check bool) "discharge counter bumped" true
+    (Liger_obs.Metrics.counter_value snap "symexec.side_conditions_discharged" > 0);
+  (* both arms still explored and solvable *)
+  let inputs = Symexec.generate_inputs (Rng.create 7) m in
+  Alcotest.(check bool) "inputs for both paths" true (List.length inputs >= 2);
+  List.iter
+    (fun args ->
+      match Interp.run m args with
+      | Interp.Returned _ -> ()
+      | Interp.Crashed msg -> Alcotest.failf "directed input crashed: %s" msg
+      | Interp.Timeout -> Alcotest.fail "directed input timed out")
+    inputs
+
+(* ------------------------------------------------------------------ *)
 (* Feedback generation                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -361,8 +414,20 @@ let test_filter_reasons () =
   check_dropped Filter.External_deps
     (candidate ~uses_external:true classify_src);
   check_dropped Filter.Too_small (candidate "method f(int x) : int { return x; }");
+  (* the abstract interpreter proves z = 0, so the static gate fires before
+     test generation ever runs *)
+  check_dropped Filter.Div_by_zero
+    (candidate "method f(int x) : int { int z = 0; int y = x / z; return y; }");
+  (* after the early return, x >= 0 on the fall-through, so the second
+     guard is interval-infeasible — beyond constant propagation *)
+  check_dropped Filter.Dead_branch
+    (candidate
+       "method f(int x) : int { int y = 0; if (x < 0) { return 0; } \
+        if (x < -5) { y = 1; } return y; }");
+  (* z is concretely always zero but x - x is top for intervals: not a
+     definite crash statically, so only test generation can give up *)
   check_dropped Filter.Testgen_timeout
-    (candidate "method f(int x) : int { int z = 0; int y = x / z; return y; }")
+    (candidate "method f(int x) : int { int z = x - x; int y = 100 / z; return y; }")
 
 let test_filter_keeps_good () =
   let rng = Rng.create 62 in
@@ -469,6 +534,10 @@ let () =
             test_symbolic_divisor_constrained;
           Alcotest.test_case "short-circuit matches interp" `Quick
             test_short_circuit_matches_interp;
+          Alcotest.test_case "absint prunes infeasible" `Quick
+            test_absint_prunes_infeasible_paths;
+          Alcotest.test_case "absint discharges divisors" `Quick
+            test_absint_discharges_divisor_side_conditions;
         ] );
       ( "feedback",
         [
