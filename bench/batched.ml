@@ -1,0 +1,97 @@
+(* Batched-engine throughput probe: per-example tape vs the flat-Bigarray
+   mini-batch path on the same corpus and parameters.
+
+   Usage:
+     dune exec bench/batched.exe                  # default corpus (n=60)
+     LIGER_BENCH_N=120 dune exec bench/batched.exe
+     dune exec bench/batched.exe -- 8 16 32       # batch sizes to probe
+
+   Prints, for each batch size: forward-only and forward+backward wall
+   time per example, plus the speedup over the per-example path.  This is
+   the number the train.LiGer examples_per_second history gate tracks. *)
+
+open Liger_tensor
+open Liger_core
+open Liger_eval
+
+let () =
+  let batch_sizes =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ 8; 16; 32 ]
+    | args -> List.map int_of_string args
+  in
+  let n =
+    match Sys.getenv_opt "LIGER_BENCH_N" with
+    | Some s -> int_of_string s
+    | None -> 60
+  in
+  let enc =
+    { Common.default_enc_config with Common.max_paths = 4; max_concrete = 3; max_steps = 16 }
+  in
+  Printf.printf "building corpus (n=%d)...\n%!" n;
+  let corpus =
+    Liger_dataset.Pipeline.build_naming ~enc_config:enc (Rng.create 4242)
+      ~name:"batched-bench" ~n
+  in
+  let train = Array.of_list corpus.Liger_dataset.Pipeline.train in
+  let n_ex = Array.length train in
+  Printf.printf "train examples: %d\n%!" n_ex;
+  let wrap, model = Zoo.liger ~vocab:corpus.Liger_dataset.Pipeline.vocab Liger_model.Naming in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let reps = 3 in
+  (* per-example reference *)
+  let unbatched_fwd =
+    time (fun () ->
+        for _ = 1 to reps do
+          Array.iter
+            (fun ex ->
+              let tape = Autodiff.tape () in
+              ignore (wrap.Train.train_loss tape ex);
+              Autodiff.discard tape)
+            train
+        done)
+  in
+  let unbatched_fb =
+    time (fun () ->
+        for _ = 1 to reps do
+          Array.iter
+            (fun ex ->
+              let tape = Autodiff.tape () in
+              let loss = wrap.Train.train_loss tape ex in
+              Autodiff.backward tape loss;
+              Param.zero_grads wrap.Train.store)
+            train
+        done)
+  in
+  let per_ex_us dt = dt /. float_of_int (reps * n_ex) *. 1e6 in
+  Printf.printf "\n%-22s %14s %14s\n" "path" "fwd us/ex" "fwd+bwd us/ex";
+  Printf.printf "%-22s %14.1f %14.1f\n%!" "per-example" (per_ex_us unbatched_fwd)
+    (per_ex_us unbatched_fb);
+  List.iter
+    (fun bs ->
+      let run_chunks backward () =
+        let off = ref 0 in
+        while !off < n_ex do
+          let len = min bs (n_ex - !off) in
+          let chunk = Array.sub train !off len in
+          off := !off + len;
+          let btape = Batched.tape () in
+          let losses, _ = Liger_model.loss_batch model btape chunk in
+          if backward then begin
+            Batched.backward btape (Batched.sum_all btape losses);
+            Param.zero_grads wrap.Train.store
+          end
+          else Batched.discard btape
+        done
+      in
+      let fwd = time (fun () -> for _ = 1 to reps do run_chunks false () done) in
+      let fb = time (fun () -> for _ = 1 to reps do run_chunks true () done) in
+      Printf.printf "%-22s %14.1f %14.1f   (%.2fx / %.2fx)\n%!"
+        (Printf.sprintf "batched (bs=%d)" bs)
+        (per_ex_us fwd) (per_ex_us fb)
+        (unbatched_fwd /. fwd) (unbatched_fb /. fb))
+    batch_sizes

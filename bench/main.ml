@@ -384,11 +384,31 @@ let regression_threshold () =
 let regression_failures ~history (r : B.record) =
   let failures = ref [] in
   let speedup = try List.assoc "speedup" r.B.metrics with Not_found -> 1.0 in
-  if r.B.jobs > 1 && speedup < 1.0 then
+  (* A jobs<=1 record can never trip the speedup gate, so a run configured
+     that way silently waives the check it claims to enforce.  Fail loudly
+     instead of letting the gate rot (the CI bench must pass --jobs 2). *)
+  if r.B.jobs <= 1 then
     failures :=
-      Printf.sprintf "speedup %.2fx < 1.00x with %d jobs (parallelism is hurting)" speedup
+      Printf.sprintf
+        "parallel benchmark recorded at jobs=%d: the speedup >= 1 gate cannot engage; \
+         run with --jobs 2 (or more) so --check-regression checks what it claims to"
         r.B.jobs
-      :: !failures;
+      :: !failures
+  else if speedup < 1.0 then
+    if r.B.jobs > Domain.recommended_domain_count () then
+      (* oversubscribed host (e.g. a 1-core CI runner asked for 2 domains):
+         a speedup below 1 is expected there and not a code regression, so
+         warn — the throughput-drop gate below still applies *)
+      Printf.eprintf
+        "warning: speedup %.2fx < 1.00x with %d jobs on %d core(s) — oversubscribed \
+         host, speedup gate waived (throughput gate still active)\n%!"
+        speedup r.B.jobs
+        (Domain.recommended_domain_count ())
+    else
+      failures :=
+        Printf.sprintf "speedup %.2fx < 1.00x with %d jobs (parallelism is hurting)" speedup
+          r.B.jobs
+        :: !failures;
   (match history with
   | Some path when Sys.file_exists path -> (
       match B.load path with
@@ -416,6 +436,76 @@ let regression_failures ~history (r : B.record) =
   | _ -> ());
   List.rev !failures
 
+(* --check-train-regression: gate on the training-throughput records that
+   [liger train --history] appends.  For each train.* benchmark key
+   (benchmark, jobs, batch_size — older records without a batch_size count
+   as 1), the newest record's examples_per_second must not drop more than
+   the threshold below the previous matching record.  An empty history is a
+   defeated gate, not a pass. *)
+
+let train_regression_failures ~history =
+  let failures = ref [] in
+  (match history with
+  | None ->
+      failures :=
+        "--check-train-regression needs --history FILE (no history, nothing checked)"
+        :: !failures
+  | Some path when not (Sys.file_exists path) ->
+      failures := Printf.sprintf "history %s does not exist: train gate cannot engage" path :: !failures
+  | Some path -> (
+      match B.load path with
+      | Error msg -> failures := Printf.sprintf "cannot read %s: %s" path msg :: !failures
+      | Ok records ->
+          let train = List.filter (fun r -> String.length r.B.benchmark >= 6
+                                            && String.sub r.B.benchmark 0 6 = "train.") records in
+          if train = [] then
+            failures :=
+              Printf.sprintf "no train.* records in %s: train gate cannot engage" path
+              :: !failures
+          else begin
+            let metric_int name default r =
+              match List.assoc_opt name r.B.metrics with
+              | Some v -> int_of_float v
+              | None -> default
+            in
+            (* throughput is only comparable between runs of the same shape:
+               same benchmark, pool size, batch size, and training scale
+               (epochs × corpus size); legacy records missing a field get a
+               sentinel so they only ever match each other *)
+            let key r =
+              ( r.B.benchmark,
+                r.B.jobs,
+                metric_int "batch_size" 1 r,
+                metric_int "epochs" (-1) r,
+                metric_int "corpus_n" (-1) r )
+            in
+            let keys = List.sort_uniq compare (List.map key train) in
+            List.iter
+              (fun k ->
+                match List.rev (List.filter (fun r -> key r = k) train) with
+                | latest :: prev :: _ -> (
+                    match
+                      ( List.assoc_opt "examples_per_second" prev.B.metrics,
+                        List.assoc_opt "examples_per_second" latest.B.metrics )
+                    with
+                    | Some before, Some after when before > 0.0 ->
+                        let drop = (before -. after) /. before in
+                        let threshold = regression_threshold () in
+                        let bench, jobs, bs, _, _ = k in
+                        if drop > threshold then
+                          failures :=
+                            Printf.sprintf
+                              "%s (jobs=%d, batch=%d): examples_per_second dropped \
+                               %.0f%% vs %s@%s (%.2f -> %.2f, threshold %.0f%%)"
+                              bench jobs bs (100.0 *. drop) prev.B.date prev.B.rev before
+                              after (100.0 *. threshold)
+                            :: !failures
+                    | _ -> ())
+                | _ -> ())
+              keys
+          end));
+  List.rev !failures
+
 (* ------------------------------------------------------------------ *)
 (* Argument parsing: unknown or contradictory flags are an error        *)
 (* ------------------------------------------------------------------ *)
@@ -435,7 +525,11 @@ let usage () =
   prerr_endline "                    (diff runs with 'liger stats --diff FILE')";
   prerr_endline "  --check-regression  exit 1 if the parallel benchmark regressed (speedup < 1";
   prerr_endline "                    with jobs > 1, or throughput down > LIGER_REGRESSION_THRESHOLD";
-  prerr_endline "                    vs the previous matching history record; default 0.3)";
+  prerr_endline "                    vs the previous matching history record; default 0.3).";
+  prerr_endline "                    Recording at jobs <= 1 fails loudly: it defeats the gate";
+  prerr_endline "  --check-train-regression  exit 1 if the newest train.* record in --history FILE";
+  prerr_endline "                    has examples_per_second down > the threshold vs the previous";
+  prerr_endline "                    record with the same benchmark, jobs, and batch_size";
   exit 2
 
 type opts = {
@@ -447,6 +541,7 @@ type opts = {
   profile : bool;
   history : string option;
   check_regression : bool;
+  check_train_regression : bool;
 }
 
 let () =
@@ -465,6 +560,8 @@ let () =
     | "--profile" :: rest -> parse { o with profile = true } rest
     | "--history" :: path :: rest -> parse { o with history = Some path } rest
     | "--check-regression" :: rest -> parse { o with check_regression = true } rest
+    | "--check-train-regression" :: rest ->
+        parse { o with check_train_regression = true } rest
     | [ (("--jobs" | "--trace" | "--metrics-out" | "--history") as flag) ] ->
         Printf.eprintf "error: %s expects an argument\n" flag;
         usage ()
@@ -475,7 +572,8 @@ let () =
   let o =
     parse
       { no_micro = false; micro_only = false; jobs = None; trace_out = None;
-        metrics_out = None; profile = false; history = None; check_regression = false }
+        metrics_out = None; profile = false; history = None; check_regression = false;
+        check_train_regression = false }
       (List.tl (Array.to_list Sys.argv))
   in
   if o.no_micro && o.micro_only then begin
@@ -485,10 +583,20 @@ let () =
   Obs.init_logging ();
   Obs.init ?metrics_out:o.metrics_out ?trace_out:o.trace_out ~profile:o.profile ();
   (match o.jobs with Some n -> Liger_parallel.Parallel.set_jobs n | None -> ());
-  (* --jobs alone means: only the parallel benchmark *)
+  if o.check_regression && o.jobs = None then begin
+    (* without --jobs no parallel record is produced, so the "check" would
+       vacuously pass — refuse rather than pretend the gate ran *)
+    prerr_endline "error: --check-regression requires --jobs N (nothing would be checked)";
+    usage ()
+  end;
+  (* --jobs alone means: only the parallel benchmark; --check-train-regression
+     alone is a pure history check and runs no benchmark at all *)
   let only_parbench = o.jobs <> None && (not o.no_micro) && not o.micro_only in
-  if (not o.micro_only) && not only_parbench then run_experiments ();
-  if (not o.no_micro) && not only_parbench then run_micro ();
+  let only_traincheck =
+    o.check_train_regression && o.jobs = None && (not o.no_micro) && not o.micro_only
+  in
+  if (not o.micro_only) && (not only_parbench) && not only_traincheck then run_experiments ();
+  if (not o.no_micro) && (not only_parbench) && not only_traincheck then run_micro ();
   let failures =
     match o.jobs with
     | None -> []
@@ -505,9 +613,14 @@ let () =
         | None -> ());
         failures
   in
-  Obs.print_report ();
+  let failures =
+    failures
+    @ (if o.check_train_regression then train_regression_failures ~history:o.history else [])
+  in
+  if not only_traincheck then Obs.print_report ();
   if failures <> [] then begin
     prerr_endline "REGRESSION CHECK FAILED:";
     List.iter (fun f -> Printf.eprintf "  - %s\n" f) failures;
     exit 1
-  end
+  end;
+  if o.check_train_regression then say "train regression check passed\n%!"

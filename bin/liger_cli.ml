@@ -269,7 +269,7 @@ let load_model dir =
 (* ---------------- train ---------------- *)
 
 let train_cmd =
-  let run () model_name n epochs dim seed save history_path =
+  let run () model_name n epochs dim seed batch save history_path =
     let rng = Rng.create seed in
     Printf.printf "building corpus (n=%d)...\n%!" n;
     let corpus = Pipeline.build_naming rng ~name:"cli" ~n in
@@ -294,7 +294,7 @@ let train_cmd =
       (Param.num_params wrapper.Train.store) epochs;
     let history =
       Train.fit
-        ~options:{ Train.default_options with Train.epochs }
+        ~options:{ Train.default_options with Train.epochs; Train.batch_size = batch }
         (Rng.create (seed + 1)) wrapper ~train:corpus.Pipeline.train
         ~valid:corpus.Pipeline.valid
     in
@@ -302,7 +302,7 @@ let train_cmd =
       Printf.printf "best epoch: %d (validation split empty; selection vacuous)\n"
         history.Train.best_epoch
     else Printf.printf "best epoch: %d\n" history.Train.best_epoch;
-    let r = Train.eval_naming wrapper corpus.Pipeline.test in
+    let r = Train.eval_naming ~batch wrapper corpus.Pipeline.test in
     Fmt.pr "test: %a@." Metrics.pp_prf r.Train.prf;
     Obs.print_report ();
     (match history_path with
@@ -313,6 +313,20 @@ let train_cmd =
         let eps =
           if wall > 0.0 then float_of_int (n_train * epochs) /. wall else 0.0
         in
+        (* A test_f1 of exactly 0.0 is a red flag, not a score: either the
+           test split is empty (nothing was measured) or the run is too
+           small for the model to predict a single correct sub-token.
+           Record it, but never silently. *)
+        if n_test = 0 then
+          Logs.warn (fun m ->
+              m "test split is empty: recording test_f1 = 0.0, which measures \
+                 nothing — increase -n so the test split is populated")
+        else if r.Train.prf.Metrics.f1 = 0.0 then
+          Logs.warn (fun m ->
+              m "test F1 is exactly 0.0 over %d test examples (no correct \
+                 sub-token at all); the run is likely too small to train — \
+                 the history record will carry a meaningless score"
+                n_test);
         let record =
           {
             B.benchmark = "train." ^ wrapper.Train.name;
@@ -323,6 +337,8 @@ let train_cmd =
               [
                 ("train_seconds", wall);
                 ("epochs", float_of_int epochs);
+                ("corpus_n", float_of_int n);
+                ("batch_size", float_of_int batch);
                 ("examples_per_second", eps);
                 ("test_f1", r.Train.prf.Metrics.f1);
               ];
@@ -345,6 +361,12 @@ let train_cmd =
   let epochs = Arg.(value & opt int 10 & info [ "epochs" ] ~doc:"Training epochs.") in
   let dim = Arg.(value & opt int 16 & info [ "dim" ] ~doc:"Hidden size.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let batch =
+    Arg.(value & opt int 1
+         & info [ "batch" ]
+             ~doc:"Mini-batch size; > 1 trains and evaluates on the batched \
+                   engine (one optimizer step per batch).")
+  in
   let save =
     Arg.(value & opt (some string) None
          & info [ "save" ] ~doc:"Directory to save the trained model (liger only).")
@@ -358,7 +380,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a model on a generated corpus")
-    Term.(const run $ obs_term $ model $ n $ epochs $ dim $ seed $ save $ history)
+    Term.(const run $ obs_term $ model $ n $ epochs $ dim $ seed $ batch $ save $ history)
 
 (* ---------------- predict ---------------- *)
 

@@ -97,6 +97,7 @@ let create ?(config = default_config) ?(seed = 7) vocab task =
   { config; task; store; vocab; embedding; treelstm; f1; f2; fusion; f3; decoder; classifier }
 
 let store t = t.store
+let vocab t = t.vocab
 let num_params t = Param.num_params t.store
 
 (* TreeLSTM over an interned tree. *)
@@ -272,3 +273,394 @@ let statement_embeddings t ?(view = Common.full_view) (ex : Common.enc_example) 
       (sid, Array.map (fun x -> x /. float_of_int n) sum) :: acc)
     tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ===== Batched encoding (flat Bigarray engine; see DESIGN.md) =====
+
+   One batched tape encodes a whole mini-batch: trace lanes across all
+   examples run fusion + f3 in lockstep with length-masked padding,
+   statement trees are deduplicated batch-wide by [memo_key] and embedded
+   as one level-packed forest, and f1/f2 pack every composite variable /
+   program state in the batch into single padded recurrences.  Padded
+   lanes/steps/slots carry exactly zero gradient (masked updates,
+   weight-0 losses), so results match the per-example path. *)
+
+type batch_encoding = {
+  benc_prog : Batched.node;          (* G × d program embeddings *)
+  benc_mem : Batched.node array;     (* maxM nodes of G × d: decoder memory slots *)
+  benc_mem_mask : Tensor.t;          (* G × maxM slot validity *)
+}
+
+(* Post-order flatten a deduplicated batch of interned trees: children
+   always get smaller indices than their parent. *)
+let flatten_itrees (trees : Common.itree array) =
+  let labels_rev = ref [] and children_rev = ref [] in
+  let count = ref 0 in
+  let rec go tree =
+    let id, sub =
+      match tree with
+      | Common.ILeaf id -> (id, [])
+      | Common.INode (id, cs) -> (id, cs)
+    in
+    let cidx = List.map go sub in
+    let idx = !count in
+    incr count;
+    labels_rev := id :: !labels_rev;
+    children_rev := cidx :: !children_rev;
+    idx
+  in
+  let roots = Array.map go trees in
+  (Array.of_list (List.rev !labels_rev), Array.of_list (List.rev !children_rev), roots)
+
+let encode_batch t btape ~view ~stats (exs : Common.enc_example array) =
+  let d = t.config.dim in
+  let g_n = Array.length exs in
+  if g_n = 0 then invalid_arg "Liger_model.encode_batch: empty batch";
+  (* Trace lanes, grouped by example in order (= unbatched memory order). *)
+  let lane_ex_rev = ref [] and lane_tr_rev = ref [] in
+  Array.iteri
+    (fun g ex ->
+      Array.iter
+        (fun tr ->
+          lane_ex_rev := g :: !lane_ex_rev;
+          lane_tr_rev := tr :: !lane_tr_rev)
+        (Common.select_traces view ex))
+    exs;
+  let lane_ex = Array.of_list (List.rev !lane_ex_rev) in
+  let lane_tr = Array.of_list (List.rev !lane_tr_rev) in
+  let l_n = Array.length lane_tr in
+  if l_n = 0 then
+    {
+      benc_prog = Batched.zeros btape ~rows:g_n ~cols:d;
+      benc_mem = [| Batched.zeros btape ~rows:g_n ~cols:d |];
+      benc_mem_mask = Tensor.zeros g_n 1;
+    }
+  else begin
+    let n_steps =
+      Array.map (fun (tr : Common.enc_trace) -> Array.length tr.Common.steps) lane_tr
+    in
+    let max_s = Array.fold_left Stdlib.max 0 n_steps in
+    let n_conc =
+      Array.map
+        (fun tr -> if t.config.use_dynamic then Common.select_concrete view tr else 0)
+        lane_tr
+    in
+    let max_c = Array.fold_left Stdlib.max 0 n_conc in
+    (* --- static: batch-wide tree dedup + one level-packed forest --- *)
+    let tree_roots, tree_of =
+      if (not t.config.use_static) || max_s = 0 then (None, [||])
+      else begin
+        let memo = Hashtbl.create 64 in
+        let trees_rev = ref [] and n_trees = ref 0 in
+        let tree_of =
+          Array.init l_n (fun l ->
+              Array.map
+                (fun (step : Common.enc_step) ->
+                  match Hashtbl.find_opt memo step.Common.memo_key with
+                  | Some i -> i
+                  | None ->
+                      let i = !n_trees in
+                      incr n_trees;
+                      Hashtbl.add memo step.Common.memo_key i;
+                      trees_rev := step.Common.tree :: !trees_rev;
+                      i)
+                lane_tr.(l).Common.steps)
+        in
+        let trees = Array.of_list (List.rev !trees_rev) in
+        let labels, children, roots = flatten_itrees trees in
+        let embed ids = Embedding_layer.embed_ids t.embedding btape ids in
+        let roots_node =
+          Treelstm.embed_forest_flat (Option.get t.treelstm) btape ~embed ~labels
+            ~children ~roots
+        in
+        (Some roots_node, tree_of)
+      end
+    in
+    (* --- dynamic: pack every distinct program state / composite variable.
+       States are deduplicated batch-wide by content (consecutive steps and
+       sibling executions repeat most variable values); identical states
+       share one f2 lane and their gradients sum through the gather, which
+       is the per-state sum up to float reassociation. --- *)
+    let state_memo : (int array array, int) Hashtbl.t = Hashtbl.create 256 in
+    let state_vars_rev = ref [] and n_states = ref 0 in
+    let state_idx =
+      Array.init l_n (fun l ->
+          Array.init n_steps.(l) (fun j ->
+              Array.init n_conc.(l) (fun k ->
+                  let vt = lane_tr.(l).Common.steps.(j).Common.var_tokens.(k) in
+                  match Hashtbl.find_opt state_memo vt with
+                  | Some s -> s
+                  | None ->
+                      let s = !n_states in
+                      incr n_states;
+                      Hashtbl.add state_memo vt s;
+                      state_vars_rev := vt :: !state_vars_rev;
+                      s)))
+    in
+    let state_vars = Array.of_list (List.rev !state_vars_rev) in
+    let s_n = !n_states in
+    let state_vecs =
+      if (not t.config.use_dynamic) || s_n = 0 then None
+      else begin
+        let f1 = Option.get t.f1 and f2 = Option.get t.f2 in
+        (* variable slots: singletons embed directly, composites run f1;
+           both deduplicated by content like the states above *)
+        let comp_memo : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+        let sing_memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        let f1_tokens_rev = ref [] and f1_n = ref 0 in
+        let sing_rev = ref [] and sing_n = ref 0 in
+        let var_rows =
+          Array.map
+            (fun (vars : int array array) ->
+              Array.map
+                (fun (tokens : int array) ->
+                  if Array.length tokens = 1 then
+                    match Hashtbl.find_opt sing_memo tokens.(0) with
+                    | Some q -> (true, q)
+                    | None ->
+                        let q = !sing_n in
+                        incr sing_n;
+                        Hashtbl.add sing_memo tokens.(0) q;
+                        sing_rev := tokens.(0) :: !sing_rev;
+                        (true, q)
+                  else
+                    match Hashtbl.find_opt comp_memo tokens with
+                    | Some f -> (false, f)
+                    | None ->
+                        let f = !f1_n in
+                        incr f1_n;
+                        Hashtbl.add comp_memo tokens f;
+                        f1_tokens_rev := tokens :: !f1_tokens_rev;
+                        (false, f))
+                vars)
+            state_vars
+        in
+        let f1_tokens = Array.of_list (List.rev !f1_tokens_rev) in
+        let sing_ids = Array.of_list (List.rev !sing_rev) in
+        let f1_final =
+          if !f1_n = 0 then None
+          else begin
+            let max_t =
+              Array.fold_left (fun acc a -> Stdlib.max acc (Array.length a)) 0 f1_tokens
+            in
+            let steps =
+              List.init max_t (fun ti ->
+                  let ids =
+                    Array.map
+                      (fun a -> if ti < Array.length a then a.(ti) else 0)
+                      f1_tokens
+                  in
+                  let mask =
+                    Array.map
+                      (fun a -> if ti < Array.length a then 1.0 else 0.0)
+                      f1_tokens
+                  in
+                  (Embedding_layer.embed_ids t.embedding btape ids, Some mask))
+            in
+            Some (Rnn_cell.last_batch f1 btape ~lanes:!f1_n steps)
+          end
+        in
+        let sing =
+          if !sing_n = 0 then None
+          else Some (Embedding_layer.embed_ids t.embedding btape sing_ids)
+        in
+        let var_src, sing_off =
+          match (f1_final, sing) with
+          | Some f, Some s -> (Some (Batched.vstack btape [ f; s ]), !f1_n)
+          | Some f, None -> (Some f, 0)
+          | None, Some s -> (Some s, 0)
+          | None, None -> (None, 0)
+        in
+        (* f2 over padded per-state variable sequences (fixed order) *)
+        let vecs =
+          match var_src with
+          | None -> Rnn_cell.init_state_batch f2 btape ~lanes:s_n
+          | Some src ->
+              let max_v =
+                Array.fold_left (fun acc v -> Stdlib.max acc (Array.length v)) 0 state_vars
+              in
+              let steps =
+                List.init max_v (fun v ->
+                    let idx =
+                      Array.map
+                        (fun rows ->
+                          if v < Array.length rows then
+                            match rows.(v) with
+                            | true, i -> sing_off + i
+                            | false, i -> i
+                          else 0)
+                        var_rows
+                    in
+                    let mask =
+                      Array.map
+                        (fun rows -> if v < Array.length rows then 1.0 else 0.0)
+                        var_rows
+                    in
+                    (Batched.gather_rows btape src idx, Some mask))
+              in
+              Rnn_cell.last_batch f2 btape ~lanes:s_n steps
+        in
+        Some vecs
+      end
+    in
+    (* --- fusion + trace recurrence f3, trace lanes in lockstep --- *)
+    let k_static = if t.config.use_static && max_s > 0 then 1 else 0 in
+    let k_dynamic = if state_vecs = None then 0 else max_c in
+    let k_total = k_static + k_dynamic in
+    let h_trace = ref (Rnn_cell.init_state_batch t.f3 btape ~lanes:l_n) in
+    let mem_nodes_rev = ref [] in
+    for j = 0 to max_s - 1 do
+      let step_valid l = j < n_steps.(l) in
+      let step_mask = Array.init l_n (fun l -> if step_valid l then 1.0 else 0.0) in
+      let cands_rev = ref [] and valid_rev = ref [] in
+      if k_static = 1 then begin
+        let idx = Array.init l_n (fun l -> if step_valid l then tree_of.(l).(j) else 0) in
+        cands_rev := Batched.gather_rows btape (Option.get tree_roots) idx :: !cands_rev;
+        valid_rev := Array.init l_n step_valid :: !valid_rev
+      end;
+      (match state_vecs with
+      | Some sv ->
+          for k = 0 to k_dynamic - 1 do
+            let ok l = step_valid l && k < n_conc.(l) in
+            let idx = Array.init l_n (fun l -> if ok l then state_idx.(l).(j).(k) else 0) in
+            cands_rev := Batched.gather_rows btape sv idx :: !cands_rev;
+            valid_rev := Array.init l_n ok :: !valid_rev
+          done
+      | None -> ());
+      let cands = Array.of_list (List.rev !cands_rev) in
+      let valid = Array.of_list (List.rev !valid_rev) in
+      if k_total = 0 then invalid_arg "Liger_model.encode_batch: no feature vectors";
+      let cmask = Tensor.zeros l_n k_total in
+      Array.iteri
+        (fun k col ->
+          Array.iteri (fun l ok -> if ok then Tensor.set cmask l k 1.0) col)
+        valid;
+      let n_valid = Array.make l_n 0 in
+      Array.iter
+        (fun col -> Array.iteri (fun l ok -> if ok then n_valid.(l) <- n_valid.(l) + 1) col)
+        valid;
+      let h_j =
+        if k_total = 1 then cands.(0)
+        else
+          match t.fusion with
+          | Some att when j > 0 && t.config.use_attention ->
+              let w, fused = Attention.fuse_batch att btape ~q:!h_trace ~mask:cmask cands in
+              if t.config.use_static then begin
+                let wv = Batched.value w in
+                for l = 0 to l_n - 1 do
+                  if step_valid l && n_valid.(l) > 1 then begin
+                    stats.static_weight_sum <-
+                      stats.static_weight_sum +. Tensor.get wv l 0;
+                    stats.fused_steps <- stats.fused_steps + 1
+                  end
+                done
+              end;
+              fused
+          | _ -> snd (Attention.fuse_uniform_batch btape ~mask:cmask cands)
+      in
+      h_trace := Rnn_cell.step_batch ~mask:step_mask t.f3 btape ~h:!h_trace ~x:h_j;
+      mem_nodes_rev := !h_trace :: !mem_nodes_rev
+    done;
+    (* program embedding: max over each example's trace finals; an example
+       with no traces gets an exactly-zero row (matches the zeros const). *)
+    let benc_prog = Batched.group_max btape !h_trace ~groups:lane_ex ~n_groups:g_n in
+    (* decoder memory: per example, its lanes' steps in (trace, step) order *)
+    let benc_mem, benc_mem_mask =
+      match List.rev !mem_nodes_rev with
+      | [] -> ([| Batched.zeros btape ~rows:g_n ~cols:d |], Tensor.zeros g_n 1)
+      | mem_nodes ->
+          let mem_all = Batched.vstack btape mem_nodes in
+          (* row of (lane l, step j) in [mem_all] is [j * l_n + l] *)
+          let slots_rev = Array.make g_n [] in
+          for l = 0 to l_n - 1 do
+            for j = 0 to n_steps.(l) - 1 do
+              slots_rev.(lane_ex.(l)) <- ((j * l_n) + l) :: slots_rev.(lane_ex.(l))
+            done
+          done;
+          let slots = Array.map (fun ls -> Array.of_list (List.rev ls)) slots_rev in
+          let max_m =
+            Stdlib.max 1
+              (Array.fold_left (fun acc a -> Stdlib.max acc (Array.length a)) 0 slots)
+          in
+          let mask = Tensor.zeros g_n max_m in
+          let slot_nodes =
+            Array.init max_m (fun m ->
+                let idx =
+                  Array.init g_n (fun g ->
+                      if m < Array.length slots.(g) then begin
+                        Tensor.set mask g m 1.0;
+                        slots.(g).(m)
+                      end
+                      else 0)
+                in
+                Batched.gather_rows btape mem_all idx)
+          in
+          (slot_nodes, mask)
+    in
+    { benc_prog; benc_mem; benc_mem_mask }
+  end
+
+(** Batched training loss over a mini-batch: per-example losses as a [G×1]
+    node on [btape], plus fusion statistics.  Per-lane results match {!loss}
+    on each example up to float reassociation. *)
+let loss_batch t btape ?(view = Common.full_view) (exs : Common.enc_example array) =
+  let stats = { static_weight_sum = 0.0; fused_steps = 0 } in
+  let enc = encode_batch t btape ~view ~stats exs in
+  let losses =
+    match (t.task, t.decoder, t.classifier) with
+    | Naming, Some dec, _ ->
+        Decoder.loss_batch dec btape ~memory:enc.benc_mem ~memory_mask:enc.benc_mem_mask
+          ~program_embedding:enc.benc_prog
+          ~target_ids:(Array.map (fun (ex : Common.enc_example) -> ex.Common.target_ids) exs)
+    | Classify _, _, Some cls ->
+        let logits = Linear.forward_batch cls btape enc.benc_prog in
+        let targets =
+          Array.map
+            (fun (ex : Common.enc_example) ->
+              match ex.Common.target_ids with
+              | [ c ] -> c
+              | _ ->
+                  invalid_arg
+                    "Liger_model.loss_batch: classification target must be one class")
+            exs
+        in
+        let weights = Array.make (Array.length exs) 1.0 in
+        fst (Batched.softmax_xent_rows btape logits ~targets ~weights)
+    | _ -> invalid_arg "Liger_model.loss_batch: task/head mismatch"
+  in
+  (losses, stats)
+
+(** Batched greedy naming prediction; one id list per example. *)
+let predict_name_ids_batch t ?(view = Common.full_view) (exs : Common.enc_example array) =
+  match t.decoder with
+  | None -> invalid_arg "Liger_model.predict_name_ids_batch: not a naming model"
+  | Some dec ->
+      if Array.length exs = 0 then [||]
+      else begin
+        let btape = Batched.tape () in
+        let stats = { static_weight_sum = 0.0; fused_steps = 0 } in
+        let enc = encode_batch t btape ~view ~stats exs in
+        let out =
+          Decoder.decode_batch dec btape ~memory:enc.benc_mem
+            ~memory_mask:enc.benc_mem_mask ~program_embedding:enc.benc_prog
+        in
+        Batched.discard btape;
+        out
+      end
+
+(** Batched class prediction; one class id per example. *)
+let predict_class_batch t ?(view = Common.full_view) (exs : Common.enc_example array) =
+  match t.classifier with
+  | None -> invalid_arg "Liger_model.predict_class_batch: not a classification model"
+  | Some cls ->
+      if Array.length exs = 0 then [||]
+      else begin
+        let btape = Batched.tape () in
+        let stats = { static_weight_sum = 0.0; fused_steps = 0 } in
+        let enc = encode_batch t btape ~view ~stats exs in
+        let logits = Linear.forward_batch cls btape enc.benc_prog in
+        let out =
+          Array.init (Array.length exs) (fun g -> Tensor.argmax (Batched.row_value logits g))
+        in
+        Batched.discard btape;
+        out
+      end

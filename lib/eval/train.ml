@@ -13,11 +13,22 @@ module Obs = Liger_obs.Obs
 
 type prediction = Subtokens of string list | Class of int
 
+(** Optional mini-batch hooks (the flat-Bigarray batched engine).  When
+    present and [options.batch_size > 1], {!fit} takes one optimizer step
+    per chunk on the summed-then-averaged per-example losses, and
+    {!predictions} runs chunked batched forward passes. *)
+type batched = {
+  train_loss_batch : Batched.tape -> Common.enc_example array -> Batched.node;
+      (* G examples -> G×1 per-example losses *)
+  predict_batch : Common.enc_example array -> prediction array;
+}
+
 type model = {
   name : string;
   store : Param.store;
   train_loss : Autodiff.tape -> Common.enc_example -> Autodiff.node;
   predict : Common.enc_example -> prediction;
+  batched : batched option;
 }
 
 type options = {
@@ -26,44 +37,69 @@ type options = {
   clip : float;
   log : bool;
   eval_every : int;  (* validate every k epochs (and always the last one) *)
+  batch_size : int;  (* > 1 uses the batched hooks when the model has them *)
 }
 
-let default_options = { epochs = 8; lr = 3e-3; clip = 5.0; log = false; eval_every = 1 }
+let default_options =
+  { epochs = 8; lr = 3e-3; clip = 5.0; log = false; eval_every = 1; batch_size = 1 }
 
 (* snapshot / restore parameter values (best-epoch selection) *)
 let snapshot store =
   Param.fold store ~init:[] (fun acc p ->
-      (p.Param.name, Array.copy p.Param.value.Tensor.data) :: acc)
+      (p.Param.name, Tensor.to_array p.Param.value) :: acc)
 
 let restore store snap =
   List.iter
     (fun (name, data) ->
       let p = Param.find store name in
-      Array.blit data 0 p.Param.value.Tensor.data 0 (Array.length data))
+      Tensor.blit_from_array data p.Param.value)
     snap
 
-(** Prediction/gold pairs over a split.  Predictions are independent
-    forward passes (each builds and discards its own tape), so they run on
-    the {!Liger_parallel.Parallel} pool, in input order. *)
-let predictions model examples =
+let gold_of (ex : Common.enc_example) =
+  match ex.Common.label with
+  | Common.Name n -> Subtokens (Liger_lang.Subtoken.split n)
+  | Common.Class c -> Class c
+
+(* split [l] into arrays of at most [n] elements, preserving order *)
+let chunk_list n l =
+  let arr = Array.of_list l in
+  let len = Array.length arr in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else
+      let k = Stdlib.min n (len - off) in
+      go (off + k) (Array.sub arr off k :: acc)
+  in
+  go 0 []
+
+(** Prediction/gold pairs over a split, in input order.  Per-example
+    predictions are independent forward passes (each builds and discards
+    its own tape) run on the {!Liger_parallel.Parallel} pool; with
+    [?batch > 1] and a model that has batched hooks, chunks of [batch]
+    examples run one batched forward pass each instead. *)
+let predictions ?(batch = 1) model examples =
   Obs.Span.with_ ~name:"train.predictions"
     ~args:(fun () ->
       [ ("model", model.name); ("n", string_of_int (List.length examples)) ])
   @@ fun () ->
-  Liger_parallel.Parallel.map_list
-    (fun (ex : Common.enc_example) ->
-      let gold =
-        match ex.Common.label with
-        | Common.Name n -> Subtokens (Liger_lang.Subtoken.split n)
-        | Common.Class c -> Class c
-      in
-      (model.predict ex, gold))
-    examples
+  match model.batched with
+  | Some b when batch > 1 ->
+      chunk_list batch examples
+      |> Liger_parallel.Parallel.map_list (fun chunk ->
+             Array.to_list
+               (Array.map2
+                  (fun p ex -> (p, gold_of ex))
+                  (b.predict_batch chunk) chunk))
+      |> List.concat
+  | _ ->
+      Liger_parallel.Parallel.map_list
+        (fun (ex : Common.enc_example) -> (model.predict ex, gold_of ex))
+        examples
 
 (** The scalar score used for model selection: sub-token F1 for naming,
     accuracy for classification. *)
-let score model examples =
-  let pairs = predictions model examples in
+let score ?batch model examples =
+  let pairs = predictions ?batch model examples in
   let names =
     List.filter_map
       (function Subtokens p, Subtokens a -> Some (p, a) | _ -> None)
@@ -105,7 +141,7 @@ let fit ?(options = default_options) rng model ~train ~valid =
   (* the untrained model's score is the selection baseline; with no
      validation data there is nothing to measure, so pin it to 0.0 rather
      than calling [score] on an empty list *)
-  let best = ref (if vacuous then 0.0 else score model valid) in
+  let best = ref (if vacuous then 0.0 else score ~batch:options.batch_size model valid) in
   let best_snap = ref (snapshot model.store) in
   let best_epoch = ref 0 in
   let losses = ref [] and scores = ref [] and times = ref [] in
@@ -118,28 +154,58 @@ let fit ?(options = default_options) rng model ~train ~valid =
     let t0 = Unix.gettimeofday () in
     Rng.shuffle rng examples;
     let total = ref 0.0 in
-    Array.iter
-      (fun ex ->
-        let tape = Autodiff.tape () in
-        let loss = model.train_loss tape ex in
-        total := !total +. Autodiff.scalar_value loss;
-        Autodiff.backward tape loss;
-        let norm = Optimizer.clip_grads model.store ~max_norm:options.clip in
-        if Float.is_finite norm then begin
-          Obs.Metrics.observe "train.grad_norm" norm;
-          Optimizer.step opt model.store
-        end
-        else begin
-          (* clip_grads zeroed the poisoned gradients; skip the update so a
-             single NaN cannot reach Adam's moment estimates *)
-          incr skipped;
-          Obs.Metrics.incr "train.skipped_steps";
-          if options.log then
-            Logs.warn (fun m ->
-                m "[%s] epoch %d: non-finite gradient norm, step skipped"
-                  model.name epoch)
-        end)
-      examples;
+    let clip_and_step () =
+      let norm = Optimizer.clip_grads model.store ~max_norm:options.clip in
+      if Float.is_finite norm then begin
+        Obs.Metrics.observe "train.grad_norm" norm;
+        Optimizer.step opt model.store
+      end
+      else begin
+        (* clip_grads zeroed the poisoned gradients; skip the update so a
+           single NaN cannot reach Adam's moment estimates *)
+        incr skipped;
+        Obs.Metrics.incr "train.skipped_steps";
+        if options.log then
+          Logs.warn (fun m ->
+              m "[%s] epoch %d: non-finite gradient norm, step skipped"
+                model.name epoch)
+      end
+    in
+    (match model.batched with
+    | Some b when options.batch_size > 1 ->
+        (* one Adam step per chunk on the mean of the per-example losses;
+           [total] still accumulates per-example losses so the reported
+           mean loss has the same meaning as the per-example path *)
+        let n = Array.length examples in
+        let bs = options.batch_size in
+        let off = ref 0 in
+        while !off < n do
+          let len = Stdlib.min bs (n - !off) in
+          let chunk = Array.sub examples !off len in
+          off := !off + len;
+          let btape = Batched.tape () in
+          let per_ex = b.train_loss_batch btape chunk in
+          let v = Batched.value per_ex in
+          for g = 0 to len - 1 do
+            total := !total +. Tensor.get v g 0
+          done;
+          let mean =
+            Batched.scale btape
+              (1.0 /. float_of_int len)
+              (Batched.sum_all btape per_ex)
+          in
+          Batched.backward btape mean;
+          clip_and_step ()
+        done
+    | _ ->
+        Array.iter
+          (fun ex ->
+            let tape = Autodiff.tape () in
+            let loss = model.train_loss tape ex in
+            total := !total +. Autodiff.scalar_value loss;
+            Autodiff.backward tape loss;
+            clip_and_step ())
+          examples);
     let mean_loss =
       if Array.length examples = 0 then 0.0
       else !total /. float_of_int (Array.length examples)
@@ -175,7 +241,7 @@ let fit ?(options = default_options) rng model ~train ~valid =
         (mean_epoch *. float_of_int (options.epochs - epoch))
     end;
     if epoch mod options.eval_every = 0 || epoch = options.epochs then begin
-      let v = if vacuous then 0.0 else score model valid in
+      let v = if vacuous then 0.0 else score ~batch:options.batch_size model valid in
       scores := v :: !scores;
       Obs.Metrics.gauge "train.valid_score" ~labels:[ ("model", model.name) ] v;
       if options.log then
@@ -207,16 +273,16 @@ let fit ?(options = default_options) rng model ~train ~valid =
 type naming_result = { prf : Metrics.prf }
 type classify_result = { acc : float; f1 : float }
 
-let eval_naming model examples =
+let eval_naming ?batch model examples =
   let pairs =
-    predictions model examples
+    predictions ?batch model examples
     |> List.filter_map (function Subtokens p, Subtokens a -> Some (p, a) | _ -> None)
   in
   { prf = Metrics.name_prf pairs }
 
-let eval_classify model examples =
+let eval_classify ?batch model examples =
   let pairs =
-    predictions model examples
+    predictions ?batch model examples
     |> List.filter_map (function Class p, Class a -> Some (p, a) | _ -> None)
   in
   { acc = Metrics.accuracy pairs; f1 = Metrics.macro_f1 pairs }

@@ -42,6 +42,25 @@ let liger ?(config = Liger_model.default_config) ?(view = Common.full_view) ?see
           in
           Autodiff.discard tape;
           p);
+      batched =
+        Some
+          {
+            Train.train_loss_batch =
+              (fun btape exs -> fst (Liger_model.loss_batch model btape ~view exs));
+            predict_batch =
+              (fun exs ->
+                match task with
+                | Liger_model.Naming ->
+                    Array.map
+                      (fun ids ->
+                        Train.Subtokens
+                          (List.map (Vocab.name (Liger_model.vocab model)) ids))
+                      (Liger_model.predict_name_ids_batch model ~view exs)
+                | Liger_model.Classify _ ->
+                    Array.map
+                      (fun c -> Train.Class c)
+                      (Liger_model.predict_class_batch model ~view exs));
+          };
     }
   in
   (wrap, model)
@@ -66,6 +85,7 @@ let dypro ?(dim = 16) ?(view = Common.full_view) ?seed ~vocab task =
           in
           Autodiff.discard tape;
           p);
+      batched = None;
     }
   in
   (wrap, model)
@@ -92,6 +112,7 @@ let code2vec ?(dim = 16) ?seed ~train task =
         in
         Autodiff.discard tape;
         p);
+    batched = None;
   }
 
 (** code2seq; builds its own vocabulary from [train]. *)
@@ -115,4 +136,5 @@ let code2seq ?(dim = 16) ?seed ~train task =
         in
         Autodiff.discard tape;
         p);
+    batched = None;
   }

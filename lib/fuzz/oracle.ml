@@ -261,7 +261,7 @@ let grad_check store build =
   Autodiff.backward tape loss;
   let grads =
     Param.fold store ~init:[] (fun acc p ->
-        (p.Param.name, Array.copy p.Param.grad.Tensor.data) :: acc)
+        (p.Param.name, Tensor.to_array p.Param.grad) :: acc)
   in
   Param.zero_grads store;
   let eval () =
@@ -275,16 +275,16 @@ let grad_check store build =
   Param.iter store (fun p ->
       if !bad = None then
         let analytic = List.assoc p.Param.name grads in
-        let data = p.Param.value.Tensor.data in
+        let value = p.Param.value in
         Array.iteri
           (fun i _ ->
             if !bad = None then begin
-              let orig = data.(i) in
-              data.(i) <- orig +. fd_eps;
+              let orig = Tensor.get_idx value i in
+              Tensor.set_idx value i (orig +. fd_eps);
               let up = eval () in
-              data.(i) <- orig -. fd_eps;
+              Tensor.set_idx value i (orig -. fd_eps);
               let down = eval () in
-              data.(i) <- orig;
+              Tensor.set_idx value i orig;
               let numeric = (up -. down) /. (2.0 *. fd_eps) in
               if Float.abs (analytic.(i) -. numeric) > fd_tol *. (1.0 +. Float.abs numeric)
               then
@@ -293,7 +293,7 @@ let grad_check store build =
                     (Printf.sprintf "%s[%d]: analytic %.6g vs numeric %.6g" p.Param.name i
                        analytic.(i) numeric)
             end)
-          data);
+          analytic);
   match !bad with None -> Pass | Some msg -> Fail msg
 
 let rand_vec rng n = Array.init n (fun _ -> Rng.uniform rng (-1.0) 1.0)

@@ -62,3 +62,87 @@ let fuse_uniform_impl tape hs =
 let fuse_uniform tape hs =
   if P.on () then P.with_layer layer (fun () -> fuse_uniform_impl tape hs)
   else fuse_uniform_impl tape hs
+
+(* --- batched (lanes × dim) variants --- *)
+
+(* The batched scorer splits the projection by column blocks of the same
+   weight: [W·(h ++ q) = W_h·h + W_q·q].  Candidates are vstacked
+   slot-major and pushed through [W_h] in one GEMM; the query goes through
+   [W_q] once per call at [lanes] rows (instead of being tiled to
+   [K·lanes]); the two meet in a broadcast add.  Same math as the
+   unbatched [W (h ++ q)] up to float reassociation. *)
+
+let project_batch_impl t btape hs =
+  Batched.matmul_nt_slice btape (Batched.vstack btape (Array.to_list hs)) t.proj.Linear.w
+    ~off:0
+
+(** Candidate-side projection [W_h · h] of all K slot matrices, vstacked
+    slot-major into a [(K·lanes) × dim_att] node.  The candidates' window
+    of the weight starts at column 0, so [~off:0].  Compute it once and
+    pass it to {!fuse_batch} via [?hproj] when the same candidates are
+    scored repeatedly (the decoder attends over fixed memory every step). *)
+let project_batch t btape hs =
+  if P.on () then P.with_layer layer (fun () -> project_batch_impl t btape hs)
+  else project_batch_impl t btape hs
+
+let weights_batch_impl t btape ?hproj ~q ~mask hs =
+  let k = Array.length hs in
+  let l = Batched.lanes q in
+  let dh = Batched.dim hs.(0) in
+  let hp = match hproj with Some p -> p | None -> project_batch t btape hs in
+  if Batched.lanes hp <> k * l then invalid_arg "Attention.weights_batch: hproj shape";
+  let qp = Batched.matmul_nt_slice btape q t.proj.Linear.w ~off:dh in
+  let scores =
+    Batched.matvec_stack_cols btape
+      (Batched.add_rows_cycle_bias_tanh btape hp qp t.proj.Linear.b)
+      t.v ~lanes:l
+  in
+  Batched.masked_softmax_rows btape scores ~mask
+
+(** Masked softmax weights over candidate slots ([mask : lanes×K], 1.0 =
+    valid).  A lane with one valid slot gets weight 1 with exactly zero
+    gradient into its score (softmax Jacobian), so it behaves like the
+    unbatched single-candidate bypass. *)
+let weights_batch t btape ?hproj ~q ~mask hs =
+  if P.on () then P.with_layer layer (fun () -> weights_batch_impl t btape ?hproj ~q ~mask hs)
+  else weights_batch_impl t btape ?hproj ~q ~mask hs
+
+let fuse_batch_impl t btape ?hproj ~q ~mask hs =
+  let w = weights_batch t btape ?hproj ~q ~mask hs in
+  (w, Batched.weighted_sum btape w hs)
+
+(** Batched {!fuse} over candidate slots with a validity mask; returns
+    [(weights : lanes×K, fused : lanes×dim)].  Pass [?hproj] (from
+    {!project_batch}) to reuse the candidate-side projection across
+    calls. *)
+let fuse_batch t btape ?hproj ~q ~mask hs =
+  if P.on () then P.with_layer layer (fun () -> fuse_batch_impl t btape ?hproj ~q ~mask hs)
+  else fuse_batch_impl t btape ?hproj ~q ~mask hs
+
+let fuse_uniform_batch_impl btape ~(mask : Tensor.t) hs =
+  let k = Array.length hs in
+  if k = 0 then invalid_arg "Attention.fuse_uniform_batch: empty";
+  let l = mask.Tensor.rows in
+  if mask.Tensor.cols <> k then invalid_arg "Attention.fuse_uniform_batch: mask shape";
+  let warr = Array.make (l * k) 0.0 in
+  for i = 0 to l - 1 do
+    let base = i * k in
+    let valid = ref 0 in
+    for j = 0 to k - 1 do
+      if Tensor.get_idx mask (base + j) > 0.5 then incr valid
+    done;
+    if !valid > 0 then begin
+      let w = 1.0 /. float_of_int !valid in
+      for j = 0 to k - 1 do
+        if Tensor.get_idx mask (base + j) > 0.5 then warr.(base + j) <- w
+      done
+    end
+  done;
+  let w = Batched.const_arr btape ~rows:l ~cols:k warr in
+  (w, Batched.weighted_sum btape w hs)
+
+(** Batched uniform fusion over the valid slots of each lane (the "remove
+    attention" ablation, and step 0 where no trace context exists yet). *)
+let fuse_uniform_batch btape ~mask hs =
+  if P.on () then P.with_layer layer (fun () -> fuse_uniform_batch_impl btape ~mask hs)
+  else fuse_uniform_batch_impl btape ~mask hs

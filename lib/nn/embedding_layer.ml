@@ -32,3 +32,19 @@ let embed_id t tape i =
 let embed t tape tok = embed_id t tape (Vocab.id t.vocab tok)
 
 let vocab_size t = Vocab.size t.vocab
+
+(* --- batched --- *)
+
+let embed_ids_impl t btape ids =
+  let rows = Param.rows t.table in
+  let clamp i = if i < 0 || i >= rows then Vocab.unk_id else i in
+  Batched.rows_of_param btape t.table (Array.map clamp ids)
+
+(** Batched embedding lookup: one lane per id (out-of-range ids fall back to
+    [unk], as in {!embed_id}). *)
+let embed_ids t btape ids =
+  if P.on () then P.with_layer layer (fun () -> embed_ids_impl t btape ids)
+  else embed_ids_impl t btape ids
+
+(** Batched lookup of token strings. *)
+let embed_batch t btape toks = embed_ids t btape (Array.map (Vocab.id t.vocab) toks)

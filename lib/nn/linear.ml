@@ -22,3 +22,18 @@ let forward t tape x =
 let forward_tanh t tape x = Autodiff.tanh_ tape (forward t tape x)
 
 let forward_sigmoid t tape x = Autodiff.sigmoid tape (forward t tape x)
+
+(* --- batched (lanes × dim) variants; semantics per lane identical --- *)
+
+let forward_batch t btape x =
+  if P.on () then P.with_layer layer (fun () -> Batched.affine btape ~w:t.w ~b:t.b x)
+  else Batched.affine btape ~w:t.w ~b:t.b x
+
+let forward_tanh_batch t btape x =
+  if P.on () then P.with_layer layer (fun () -> Batched.affine_tanh btape ~w:t.w ~b:t.b x)
+  else Batched.affine_tanh btape ~w:t.w ~b:t.b x
+
+let forward_sigmoid_batch t btape x =
+  if P.on () then
+    P.with_layer layer (fun () -> Batched.affine_sigmoid btape ~w:t.w ~b:t.b x)
+  else Batched.affine_sigmoid btape ~w:t.w ~b:t.b x

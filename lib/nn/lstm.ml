@@ -56,3 +56,53 @@ let run t tape xs =
 
 let last t tape xs =
   match List.rev (run t tape xs) with [] -> (init_state t tape).h | h :: _ -> h
+
+(* --- batched (lanes × dim) variants --- *)
+
+type bstate = { bh : Batched.node; bc : Batched.node }
+
+let init_state_batch t btape ~lanes =
+  {
+    bh = Batched.of_param btape ~lanes t.h0;
+    bc = Batched.of_param btape ~lanes t.c0;
+  }
+
+let step_batch_impl t btape ~state ~x =
+  let d = t.dim_hidden in
+  let xh = Batched.concat_cols btape [ x; state.bh ] in
+  let pre = Linear.forward_batch t.gates btape xh in
+  let i = Batched.sigmoid btape (Batched.slice_cols btape pre 0 d) in
+  let f = Batched.sigmoid btape (Batched.slice_cols btape pre d d) in
+  let o = Batched.sigmoid btape (Batched.slice_cols btape pre (2 * d) d) in
+  let u = Batched.tanh_ btape (Batched.slice_cols btape pre (3 * d) d) in
+  let c = Batched.muladd2 btape f state.bc i u in
+  let h = Batched.mul btape o (Batched.tanh_ btape c) in
+  { bh = h; bc = c }
+
+(** One batched LSTM step; [?mask] freezes both [h] and [c] on padded lanes
+    (exactly zero gradient through the frozen step). *)
+let step_batch ?mask t btape ~state ~x =
+  let next =
+    if P.on () then P.with_layer layer (fun () -> step_batch_impl t btape ~state ~x)
+    else step_batch_impl t btape ~state ~x
+  in
+  match mask with
+  | None -> next
+  | Some m ->
+      {
+        bh = Batched.select_rows btape ~mask:m next.bh state.bh;
+        bc = Batched.select_rows btape ~mask:m next.bc state.bc;
+      }
+
+let run_batch t btape ~lanes steps =
+  let state = ref (init_state_batch t btape ~lanes) in
+  List.map
+    (fun (x, mask) ->
+      state := step_batch ?mask t btape ~state:!state ~x;
+      !state.bh)
+    steps
+
+let last_batch t btape ~lanes steps =
+  match List.rev (run_batch t btape ~lanes steps) with
+  | [] -> (init_state_batch t btape ~lanes).bh
+  | h :: _ -> h

@@ -89,3 +89,52 @@ let run t tape xs =
 (** Final state of a sequence (initial state when the sequence is empty). *)
 let last t tape xs =
   match List.rev (run t tape xs) with [] -> init_state t tape | h :: _ -> h
+
+(* --- batched (lanes × dim) variants --- *)
+
+(** Learned initial state broadcast over [lanes] rows. *)
+let init_state_batch t btape ~lanes = Batched.of_param btape ~lanes t.h0
+
+let step_batch_impl t btape ~h ~x =
+  match t.spec with
+  | Svanilla { wx; wh; b } ->
+      Batched.tanh_ btape
+        (Batched.add_bias btape
+           (Batched.add btape (Batched.matmul_nt btape x wx) (Batched.matmul_nt btape h wh))
+           b)
+  | Sgru { gates; cand } ->
+      let d = t.dim_hidden in
+      let xh = Batched.concat_cols btape [ x; h ] in
+      let rz = Linear.forward_sigmoid_batch gates btape xh in
+      let r = Batched.slice_cols btape rz 0 d in
+      let z = Batched.slice_cols btape rz d d in
+      let x_rh = Batched.concat_cols btape [ x; Batched.mul btape r h ] in
+      let h_tilde = Linear.forward_tanh_batch cand btape x_rh in
+      Batched.lerp btape z h_tilde h
+
+(** One batched recurrence step.  With [?mask] (1.0 live / 0.0 padded) the
+    update is [m⊙h' + (1-m)⊙h]: padded lanes keep their previous state and
+    receive exactly zero gradient through this step. *)
+let step_batch ?mask t btape ~h ~x =
+  let h' =
+    if P.on () then P.with_layer layer (fun () -> step_batch_impl t btape ~h ~x)
+    else step_batch_impl t btape ~h ~x
+  in
+  match mask with None -> h' | Some m -> Batched.select_rows btape ~mask:m h' h
+
+(** Fold over padded step inputs [(x, mask)] starting from the broadcast
+    initial state; returns the state after each step.  A lane whose masks
+    are all 0.0 ends at the initial state, matching {!last} on []. *)
+let run_batch t btape ~lanes steps =
+  let h = ref (init_state_batch t btape ~lanes) in
+  List.map
+    (fun (x, mask) ->
+      h := step_batch ?mask t btape ~h:!h ~x;
+      !h)
+    steps
+
+(** Final state of a padded batched sequence. *)
+let last_batch t btape ~lanes steps =
+  match List.rev (run_batch t btape ~lanes steps) with
+  | [] -> init_state_batch t btape ~lanes
+  | h :: _ -> h

@@ -400,3 +400,12 @@ let map_rng_list rng f l =
 (** Order-preserving [filter_map] with per-task generators. *)
 let filter_map_rng rng f l =
   List.filter_map Fun.id (map_rng_list rng f l)
+
+(* Hand the pool to the tensor kernels: [lib/tensor] cannot depend on this
+   library (it would close a cycle through {!Rng}), so GEMM parallelism is
+   dependency-injected here at module initialisation.  Tasks cover disjoint
+   output-row blocks, so any schedule — including the sequential fallbacks
+   for nested calls or tiny pools — produces identical bits. *)
+let () =
+  Liger_tensor.Tensor.set_parallel_runner (fun f n ->
+      ignore (map f (Array.init n Fun.id)))

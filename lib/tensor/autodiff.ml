@@ -116,14 +116,14 @@ let scalar tape x = const tape [| x |]
 let of_param tape (p : Param.t) =
   if p.Param.value.Tensor.rows <> 1 then
     invalid_arg "Autodiff.of_param: parameter is not a vector";
-  let v = Array.copy p.Param.value.Tensor.data in
+  let v = Tensor.to_array p.Param.value in
   let d = Array.length v in
   if P.on () then P.op op_of_param ~flops:0.0 ~bytes:(fbytes d);
   let rec n =
     lazy
       (push tape v (fun () ->
            if P.on () then P.op op_of_param_b ~flops:(float_of_int (2 * d)) ~bytes:0.0;
-           Tensor.axpy 1.0 (Lazy.force n).grad p.Param.grad.Tensor.data))
+           Tensor.axpy_buf 1.0 (Lazy.force n).grad p.Param.grad.Tensor.data))
   in
   Lazy.force n
 
@@ -132,7 +132,8 @@ let of_param tape (p : Param.t) =
 let row tape (p : Param.t) i =
   let cols = Param.cols p in
   if i < 0 || i >= Param.rows p then invalid_arg "Autodiff.row: index out of range";
-  let v = Array.sub p.Param.value.Tensor.data (i * cols) cols in
+  let base = i * cols in
+  let v = Array.init cols (fun j -> Tensor.get_idx p.Param.value (base + j)) in
   if P.on () then P.op op_row ~flops:0.0 ~bytes:(fbytes cols);
   let rec n =
     lazy
@@ -140,9 +141,9 @@ let row tape (p : Param.t) i =
            if P.on () then P.op op_row_b ~flops:(float_of_int cols) ~bytes:0.0;
            let g = (Lazy.force n).grad in
            let pg = p.Param.grad.Tensor.data in
-           let base = i * cols in
            for j = 0 to cols - 1 do
-             pg.(base + j) <- pg.(base + j) +. g.(j)
+             Bigarray.Array1.unsafe_set pg (base + j)
+               (Bigarray.Array1.unsafe_get pg (base + j) +. Array.unsafe_get g j)
            done))
   in
   Lazy.force n

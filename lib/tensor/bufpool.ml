@@ -1,0 +1,77 @@
+(** Arena-style pooling of {!Tensor.buf} storage for the batched engine.
+
+    Batched training allocates the same buffer shapes every step (node
+    values and gradients are [lanes × dim] for a handful of lane counts),
+    so instead of letting each tape's bigarrays churn through malloc/free,
+    buffers are leased from per-domain freelists keyed by exact element
+    count and returned when the tape is released.
+
+    Lifetime rules (see also DESIGN.md):
+    - {!take} transfers ownership to the caller; {!give} transfers it back.
+      A buffer must not be used after it is given back.
+    - The batched tape ({!Batched}) takes buffers at node creation and
+      gives every node's value and gradient back in [release_tape] /
+      [discard]; node values are therefore invalid after the tape is
+      released — copy out anything you need first ({!Tensor.to_array}).
+    - Freelists are per-domain ([Domain.DLS]): no locks, and a buffer
+      taken on one domain is returned to that domain's list, so pooling
+      never creates cross-domain sharing.
+    - Gradients are zero-filled on {!take_zeroed}; values are returned
+      uninitialised.
+
+    The pool is capacity-bounded per size class ({!max_per_class}) so a
+    one-off giant batch cannot pin its buffers forever. *)
+
+type stats = { mutable hits : int; mutable misses : int; mutable returned : int }
+
+type pool = { classes : (int, Tensor.buf list ref) Hashtbl.t; stats : stats }
+
+let max_per_class = 64
+
+let key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { classes = Hashtbl.create 32; stats = { hits = 0; misses = 0; returned = 0 } })
+
+let pool () = Domain.DLS.get key
+
+(** Lease a buffer of exactly [n] elements; contents are unspecified. *)
+let take n : Tensor.buf =
+  let p = pool () in
+  match Hashtbl.find_opt p.classes n with
+  | Some ({ contents = b :: rest } as cell) ->
+      cell := rest;
+      p.stats.hits <- p.stats.hits + 1;
+      b
+  | _ ->
+      p.stats.misses <- p.stats.misses + 1;
+      Tensor.alloc_buf n
+
+(** Lease a zero-filled buffer of exactly [n] elements (gradients). *)
+let take_zeroed n =
+  let b = take n in
+  Bigarray.Array1.fill b 0.0;
+  b
+
+(** Return a buffer to the current domain's pool. *)
+let give (b : Tensor.buf) =
+  let p = pool () in
+  let n = Bigarray.Array1.dim b in
+  p.stats.returned <- p.stats.returned + 1;
+  let cell =
+    match Hashtbl.find_opt p.classes n with
+    | Some cell -> cell
+    | None ->
+        let cell = ref [] in
+        Hashtbl.add p.classes n cell;
+        cell
+  in
+  if List.length !cell < max_per_class then cell := b :: !cell
+
+(** Drop every pooled buffer on the current domain (tests; memory release). *)
+let clear () =
+  let p = pool () in
+  Hashtbl.reset p.classes
+
+let stats () =
+  let s = (pool ()).stats in
+  (s.hits, s.misses, s.returned)

@@ -6,6 +6,7 @@
     smaller.  Plain SGD is included for tests and ablations. *)
 
 module P = Liger_obs.Profile
+module BA = Bigarray.Array1
 
 (* coarse profiled ops: one clock read per optimizer step / clip, negligible
    next to the parameter sweep being timed *)
@@ -78,9 +79,10 @@ let step t store =
   | Sgd { lr; momentum; state } ->
       Param.iter store (fun p ->
           let v = p.Param.value.Tensor.data and g = p.Param.grad.Tensor.data in
+          let n = Param.size p in
           if momentum = 0.0 then
-            for i = 0 to Array.length v - 1 do
-              v.(i) <- v.(i) -. (lr *. g.(i))
+            for i = 0 to n - 1 do
+              BA.unsafe_set v i (BA.unsafe_get v i -. (lr *. BA.unsafe_get g i))
             done
           else begin
             let vel =
@@ -91,9 +93,9 @@ let step t store =
                   Hashtbl.add state p.Param.name vel;
                   vel
             in
-            for i = 0 to Array.length v - 1 do
-              vel.(i) <- (momentum *. vel.(i)) +. g.(i);
-              v.(i) <- v.(i) -. (lr *. vel.(i))
+            for i = 0 to n - 1 do
+              vel.(i) <- (momentum *. vel.(i)) +. BA.unsafe_get g i;
+              BA.unsafe_set v i (BA.unsafe_get v i -. (lr *. vel.(i)))
             done
           end)
   | Adam a ->
@@ -103,14 +105,14 @@ let step t store =
       Param.iter store (fun p ->
           let m, v2 = adam_state a.state p in
           let v = p.Param.value.Tensor.data and g = p.Param.grad.Tensor.data in
-          for i = 0 to Array.length v - 1 do
-            let gi = g.(i) in
+          for i = 0 to Param.size p - 1 do
+            let gi = BA.unsafe_get g i in
             m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
             v2.(i) <- (a.beta2 *. v2.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
             let mhat = m.(i) /. bc1 and vhat = v2.(i) /. bc2 in
-            v.(i) <-
-              v.(i)
-              -. (a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. v.(i))))
+            let vi = BA.unsafe_get v i in
+            BA.unsafe_set v i
+              (vi -. (a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. vi))))
           done));
   Param.zero_grads store;
   if P.on () then begin

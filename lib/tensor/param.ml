@@ -40,7 +40,7 @@ let add store name ~rows ~cols ~init =
     invalid_arg ("Param.add: duplicate parameter " ^ name);
   let value = Tensor.create rows cols in
   for i = 0 to Tensor.size value - 1 do
-    value.Tensor.data.(i) <- init store.rng
+    Tensor.set_idx value i (init store.rng)
   done;
   let p = { name; value; grad = Tensor.create rows cols } in
   Hashtbl.add store.tbl name p;
@@ -82,12 +82,18 @@ let num_params store = fold store ~init:0 (fun acc p -> acc + size p)
 let grad_norm store =
   sqrt
     (fold store ~init:0.0 (fun acc p ->
-         acc +. Array.fold_left (fun a x -> a +. (x *. x)) 0.0 p.grad.Tensor.data))
+         let g = p.grad.Tensor.data in
+         let acc = ref acc in
+         for i = 0 to Tensor.size p.grad - 1 do
+           let x = Bigarray.Array1.unsafe_get g i in
+           acc := !acc +. (x *. x)
+         done;
+         !acc))
 
 (** Scale every gradient in the store by [c]. *)
 let scale_grads store c =
   iter store (fun p ->
       let g = p.grad.Tensor.data in
-      for i = 0 to Array.length g - 1 do
-        g.(i) <- g.(i) *. c
+      for i = 0 to Tensor.size p.grad - 1 do
+        Bigarray.Array1.unsafe_set g i (Bigarray.Array1.unsafe_get g i *. c)
       done)

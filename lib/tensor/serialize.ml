@@ -16,12 +16,11 @@ let save_store (store : Param.store) path =
        (fun () ->
          Param.iter store (fun p ->
              Printf.fprintf oc "%s %d %d\n" p.Param.name (Param.rows p) (Param.cols p);
-             let data = p.Param.value.Tensor.data in
-             Array.iteri
-               (fun i x ->
-                 if i > 0 then output_char oc ' ';
-                 Printf.fprintf oc "%.17g" x)
-               data;
+             let value = p.Param.value in
+             for i = 0 to Param.size p - 1 do
+               if i > 0 then output_char oc ' ';
+               Printf.fprintf oc "%.17g" (Tensor.get_idx value i)
+             done;
              output_char oc '\n'))
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
@@ -57,7 +56,7 @@ let load_store (store : Param.store) path =
               in
               if List.length parts <> Param.size p then
                 failwith ("Serialize.load_store: size mismatch for " ^ name);
-              List.iteri (fun i x -> p.Param.value.Tensor.data.(i) <- x) parts;
+              List.iteri (fun i x -> Tensor.set_idx p.Param.value i x) parts;
               Hashtbl.replace loaded name ()
           | _ -> failwith "Serialize.load_store: malformed header"
         done

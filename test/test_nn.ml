@@ -20,7 +20,7 @@ let param_grad_check ?(eps = 1e-5) ?(tol = 2e-3) store build =
   Autodiff.backward tape loss;
   let grads =
     Param.fold store ~init:[] (fun acc p ->
-        (p.Param.name, Array.copy p.Param.grad.Tensor.data) :: acc)
+        (p.Param.name, Tensor.to_array p.Param.grad) :: acc)
   in
   Param.zero_grads store;
   let eval () =
@@ -32,20 +32,20 @@ let param_grad_check ?(eps = 1e-5) ?(tol = 2e-3) store build =
   in
   Param.iter store (fun p ->
       let analytic = List.assoc p.Param.name grads in
-      let data = p.Param.value.Tensor.data in
+      let value = p.Param.value in
       Array.iteri
         (fun i _ ->
-          let orig = data.(i) in
-          data.(i) <- orig +. eps;
+          let orig = Tensor.get_idx value i in
+          Tensor.set_idx value i (orig +. eps);
           let up = eval () in
-          data.(i) <- orig -. eps;
+          Tensor.set_idx value i (orig -. eps);
           let down = eval () in
-          data.(i) <- orig;
+          Tensor.set_idx value i orig;
           let numeric = (up -. down) /. (2.0 *. eps) in
           if Float.abs (analytic.(i) -. numeric) > tol *. (1.0 +. Float.abs numeric) then
             Alcotest.failf "%s[%d]: analytic %.6g numeric %.6g" p.Param.name i
               analytic.(i) numeric)
-        data)
+        analytic)
 
 let rand_input rng n = Array.init n (fun _ -> Rng.uniform rng (-1.0) 1.0)
 

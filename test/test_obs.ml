@@ -284,6 +284,7 @@ let tiny_model () =
     train_loss =
       (fun tape _ex -> Autodiff.matvec tape w (Autodiff.const tape [| 1.0; 1.0 |]));
     predict = (fun _ -> Liger_eval.Train.Class 0);
+    batched = None;
   }
 
 let tiny_example () =

@@ -231,13 +231,14 @@ let constant_score_model () =
     train_loss =
       (fun tape _ex -> Autodiff.matvec tape w (Autodiff.const tape [| 1.0; 1.0 |]));
     predict = (fun _ -> Train.Class 0);
+    batched = None;
   }
 
 let test_plateau_restores_trained_params () =
   let c = build_corpus ~jobs:1 ~seed:55 in
   let model = constant_score_model () in
   let w = Param.find model.Train.store "w" in
-  let init = Array.copy w.Param.value.Tensor.data in
+  let init = Tensor.to_array w.Param.value in
   let history =
     Train.fit
       ~options:{ Train.default_options with Train.epochs = 3 }
@@ -248,7 +249,7 @@ let test_plateau_restores_trained_params () =
   (* loss = w . [1,1], so Adam pushes w down every step; a plateau must keep
      those updates rather than restore the untrained snapshot *)
   Alcotest.(check bool) "trained parameters kept on plateau" true
-    (w.Param.value.Tensor.data <> init);
+    (Tensor.to_array w.Param.value <> init);
   Alcotest.(check bool) "best epoch is a trained epoch" true (history.Train.best_epoch > 0)
 
 (* ------------------------------------------------------------------ *)
@@ -258,7 +259,7 @@ let test_plateau_restores_trained_params () =
 let test_nan_grad_skips_step () =
   let store = Param.create_store ~seed:6 () in
   let w = Param.matrix store "w" 1 2 in
-  let init = Array.copy w.Param.value.Tensor.data in
+  let init = Tensor.to_array w.Param.value in
   let model =
     {
       Train.name = "nan-grad";
@@ -266,9 +267,10 @@ let test_nan_grad_skips_step () =
       train_loss =
         (fun tape _ex ->
           (* simulate a poisoned backward pass *)
-          w.Param.grad.Tensor.data.(0) <- Float.nan;
+          Tensor.set_idx w.Param.grad 0 Float.nan;
           Autodiff.const tape [| 1.0 |]);
       predict = (fun _ -> Train.Class 0);
+      batched = None;
     }
   in
   let c = build_corpus ~jobs:1 ~seed:66 in
@@ -282,24 +284,24 @@ let test_nan_grad_skips_step () =
   Alcotest.(check int) "every poisoned step skipped" (2 * List.length train)
     history.Train.skipped_steps;
   Alcotest.(check (array (float 0.0))) "parameters untouched and finite" init
-    w.Param.value.Tensor.data
+    (Tensor.to_array w.Param.value)
 
 let test_clip_grads_nonfinite () =
   let store = Param.create_store ~seed:7 () in
   let w = Param.matrix store "w" 1 2 in
-  w.Param.grad.Tensor.data.(0) <- Float.nan;
-  w.Param.grad.Tensor.data.(1) <- 1.0;
+  Tensor.set_idx w.Param.grad 0 Float.nan;
+  Tensor.set_idx w.Param.grad 1 1.0;
   let norm = Optimizer.clip_grads store ~max_norm:5.0 in
   Alcotest.(check bool) "non-finite norm reported" false (Float.is_finite norm);
   Alcotest.(check (array (float 0.0))) "poisoned gradients zeroed" [| 0.0; 0.0 |]
-    w.Param.grad.Tensor.data;
+    (Tensor.to_array w.Param.grad);
   (* the finite path still clips *)
-  w.Param.grad.Tensor.data.(0) <- 3.0;
-  w.Param.grad.Tensor.data.(1) <- 4.0;
+  Tensor.set_idx w.Param.grad 0 3.0;
+  Tensor.set_idx w.Param.grad 1 4.0;
   let norm = Optimizer.clip_grads store ~max_norm:2.5 in
   Alcotest.(check (float 1e-9)) "pre-clip norm returned" 5.0 norm;
   Alcotest.(check (array (float 1e-9))) "rescaled to max_norm" [| 1.5; 2.0 |]
-    w.Param.grad.Tensor.data
+    (Tensor.to_array w.Param.grad)
 
 (* ------------------------------------------------------------------ *)
 (* Regression: checkpoints are atomic and complete                     *)
@@ -322,8 +324,8 @@ let test_checkpoint_roundtrip () =
     (fun name ->
       Alcotest.(check (array (float 0.0)))
         (name ^ " round-trips")
-        (Param.find src name).Param.value.Tensor.data
-        (Param.find dst name).Param.value.Tensor.data)
+        (Tensor.to_array (Param.find src name).Param.value)
+        (Tensor.to_array (Param.find dst name).Param.value))
     [ "a"; "b" ];
   Sys.remove path
 

@@ -95,7 +95,7 @@ let test_matvec_matches_naive () =
     let rows = 1 + Rng.int rng 8 and cols = 1 + Rng.int rng 8 in
     let m = Tensor.create rows cols in
     for i = 0 to Tensor.size m - 1 do
-      m.Tensor.data.(i) <- Rng.uniform rng (-2.0) 2.0
+      Tensor.set_idx m i (Rng.uniform rng (-2.0) 2.0)
     done;
     let x = Array.init cols (fun _ -> Rng.uniform rng (-2.0) 2.0) in
     let out = Array.make rows 0.0 in
@@ -304,7 +304,7 @@ let test_grad_matvec_param () =
   in
   let tape, xn, loss = run () in
   Autodiff.backward tape loss;
-  let wgrad = Array.copy w.Param.grad.Tensor.data in
+  let wgrad = Tensor.to_array w.Param.grad in
   let xgrad = Array.copy (Autodiff.grad xn) in
   Param.zero_grads store;
   let eps = 1e-5 in
@@ -316,12 +316,12 @@ let test_grad_matvec_param () =
   in
   (* weight entries *)
   for i = 0 to Tensor.size w.Param.value - 1 do
-    let orig = w.Param.value.Tensor.data.(i) in
-    w.Param.value.Tensor.data.(i) <- orig +. eps;
+    let orig = Tensor.get_idx w.Param.value i in
+    Tensor.set_idx w.Param.value i (orig +. eps);
     let up = eval () in
-    w.Param.value.Tensor.data.(i) <- orig -. eps;
+    Tensor.set_idx w.Param.value i (orig -. eps);
     let down = eval () in
-    w.Param.value.Tensor.data.(i) <- orig;
+    Tensor.set_idx w.Param.value i orig;
     let numeric = (up -. down) /. (2.0 *. eps) in
     if Float.abs (wgrad.(i) -. numeric) > 1e-3 *. (1.0 +. Float.abs numeric) then
       Alcotest.failf "matvec dW[%d]: analytic %.6g numeric %.6g" i wgrad.(i) numeric
@@ -413,7 +413,7 @@ let test_weight_decay_shrinks () =
   (* with zero gradients, decoupled weight decay must shrink parameters *)
   let store = Param.create_store ~seed:77 () in
   let p = Param.matrix store "p" 2 2 in
-  let before = Array.map Float.abs (Array.map Fun.id p.Param.grad.Tensor.data) in
+  let before = Array.map Float.abs (Tensor.to_array p.Param.grad) in
   ignore before;
   let norm_before = Tensor.l2_norm p.Param.value in
   let opt = Optimizer.adam ~lr:0.1 ~weight_decay:0.1 () in
@@ -425,7 +425,7 @@ let test_weight_decay_shrinks () =
 let test_clip_grads () =
   let store = Param.create_store ~seed:3 () in
   let p = Param.matrix store "p" 1 4 in
-  Array.fill p.Param.grad.Tensor.data 0 4 10.0;
+  Tensor.fill p.Param.grad 10.0;
   let norm = Optimizer.clip_grads store ~max_norm:1.0 in
   Alcotest.(check bool) "pre-norm reported" true (norm > 19.0);
   check_float ~eps:1e-9 "post-norm is max_norm" 1.0 (Param.grad_norm store)
@@ -433,7 +433,7 @@ let test_clip_grads () =
 let test_zero_grads () =
   let store = Param.create_store ~seed:4 () in
   let p = Param.matrix store "p" 2 2 in
-  Array.fill p.Param.grad.Tensor.data 0 4 5.0;
+  Tensor.fill p.Param.grad 5.0;
   Param.zero_grads store;
   check_float "zeroed" 0.0 (Param.grad_norm store)
 
@@ -467,8 +467,9 @@ let test_serialize_roundtrip () =
   Param.iter store (fun p ->
       let q = Param.find store2 p.Param.name in
       Array.iteri
-        (fun i x -> check_float ~eps:0.0 "roundtrip exact" x q.Param.value.Tensor.data.(i))
-        p.Param.value.Tensor.data)
+        (fun i x ->
+          check_float ~eps:0.0 "roundtrip exact" x (Tensor.get_idx q.Param.value i))
+        (Tensor.to_array p.Param.value))
 
 let test_serialize_shape_mismatch () =
   let store = Param.create_store ~seed:6 () in
@@ -560,11 +561,11 @@ let prop_serialize_bit_exact =
           Array.iteri
             (fun i x ->
               (* bit-exact: compare the representations, not within epsilon *)
-              if Int64.bits_of_float x <> Int64.bits_of_float q.Param.value.Tensor.data.(i)
-              then
+              let y = Tensor.get_idx q.Param.value i in
+              if Int64.bits_of_float x <> Int64.bits_of_float y then
                 QCheck.Test.fail_reportf "%s[%d]: %.17g reloaded as %.17g" p.Param.name i
-                  x q.Param.value.Tensor.data.(i))
-            p.Param.value.Tensor.data);
+                  x y)
+            (Tensor.to_array p.Param.value));
       true)
 
 let qcheck_cases =
