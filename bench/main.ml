@@ -158,6 +158,7 @@ let micro_tests fx =
   ]
 
 let run_micro () =
+  Obs.Recorder.note "bench.micro";
   say "\nBechamel microbenches (computational kernel of each table/figure)\n";
   say "%s\n%!" (String.make 72 '-');
   let fx = build_fixture () in
@@ -183,10 +184,15 @@ let run_micro () =
 (* ------------------------------------------------------------------ *)
 
 let run_experiments () =
+  Obs.Recorder.note "bench.experiments";
   let t0 = Unix.gettimeofday () in
   let ctx = Experiments.create_ctx () in
   ctx.Experiments.progress <-
-    (fun s -> Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) s);
+    (fun s ->
+      (* progress lines double as flight-recorder breadcrumbs: a crash
+         mid-sweep names the table/figure it died in *)
+      if Obs.Recorder.enabled () then Obs.Recorder.note ~detail:s "bench.progress";
+      Printf.eprintf "[%7.1fs] %s\n%!" (Unix.gettimeofday () -. t0) s);
   say "LiGer reproduction - evaluation at scale '%s'\n"
     ctx.Experiments.scale.Experiments.label;
   say "(set LIGER_SCALE=full for the larger configuration)\n\n%!";
@@ -243,6 +249,8 @@ let strip_uids (c : Liger_dataset.Pipeline.corpus) =
 
 let run_parallel_bench ~jobs =
   let open Liger_parallel in
+  if Obs.Recorder.enabled () then
+    Obs.Recorder.note ~detail:(Printf.sprintf "jobs %d" jobs) "bench.parallel";
   say "\nParallel corpus generation: 1 domain vs %d domains\n" jobs;
   say "%s\n%!" (String.make 72 '-');
   let n_methods =

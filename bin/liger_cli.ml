@@ -14,7 +14,10 @@
      train           - train a model on a generated corpus and report metrics
      experiments     - run the paper's tables/figures (same as bench/main.exe)
      stats    FILE   - summarize or validate a telemetry file written via
-                       --metrics-out/--trace (or the LIGER_*_OUT env vars)
+                       --metrics-out/--trace (or the LIGER_*_OUT env vars);
+                       --openmetrics renders Prometheus text exposition
+     top     [RUN]   - live view of a training run's ledger (throughput, loss,
+                       grad norms, pool, GC, bufpool; see --metrics-every)
 *)
 
 open Cmdliner
@@ -52,8 +55,18 @@ let obs_term =
                    (implies metrics; also LIGER_PROFILE=1).  The end-of-run \
                    report gains per-layer and per-op tables.")
   in
-  let setup metrics_out trace_out profile = Obs.init ?metrics_out ?trace_out ~profile () in
-  Term.(const setup $ metrics_out $ trace_out $ profile)
+  let metrics_every =
+    Arg.(value & opt (some float) None
+         & info [ "metrics-every" ] ~docv:"SECONDS"
+             ~doc:"Append an enriched metrics snapshot to the run ledger \
+                   $(i,runs/<run-id>/metrics.jsonl) every $(docv) seconds (also \
+                   LIGER_METRICS_EVERY; implies metrics).  Watch it live with \
+                   $(b,liger top).")
+  in
+  let setup metrics_out trace_out metrics_every profile =
+    Obs.init ?metrics_out ?trace_out ?metrics_every ~profile ()
+  in
+  Term.(const setup $ metrics_out $ trace_out $ metrics_every $ profile)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -489,9 +502,11 @@ let probe_cmd =
     let reports = [ liger_report; dypro_report ] in
     let table = Probe.render reports in
     print_string table;
-    (match out with
-    | None -> ()
-    | Some path ->
+    (* default the artifact into the per-run directory instead of the repo
+       root; --out "" suppresses the file entirely *)
+    (match (match out with Some p -> p | None -> Filename.concat (Obs.run_dir ()) "probe_accuracy.txt") with
+    | "" -> ()
+    | path ->
         let oc = open_out path in
         output_string oc table;
         close_out oc;
@@ -510,7 +525,10 @@ let probe_cmd =
   let dim = Arg.(value & opt int 16 & info [ "dim" ] ~doc:"Hidden size.") in
   let out =
     Arg.(value & opt (some string) None
-         & info [ "out" ] ~docv:"FILE" ~doc:"Also write the accuracy table to $(docv).")
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the accuracy table to $(docv) (default \
+                   $(i,runs/<run-id>/probe_accuracy.txt); pass an empty string \
+                   to skip the file).")
   in
   Cmd.v
     (Cmd.info "probe"
@@ -636,12 +654,22 @@ let fuzz_cmd =
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
-  let run file file2 validate diff threshold =
+  let run file file2 validate diff openmetrics threshold =
     let fail msg =
       Printf.eprintf "%s\n" msg;
       exit 1
     in
-    if diff || file2 <> None then begin
+    if openmetrics then begin
+      match Obs.openmetrics_file file with
+      | Error msg -> fail msg
+      | Ok text ->
+          if validate then (
+            match Liger_obs.Openmetrics.lint text with
+            | Ok samples -> Printf.printf "%s: OK (openmetrics, %d samples)\n" file samples
+            | Error msg -> fail (Printf.sprintf "%s: %s" file msg))
+          else print_string text
+    end
+    else if diff || file2 <> None then begin
       let result =
         match file2 with
         | Some b -> Obs.diff_files ?threshold file b
@@ -680,6 +708,13 @@ let stats_cmd =
                    history, compares its last two records.  Rows whose relative \
                    change exceeds the threshold are flagged with '!'.")
   in
+  let openmetrics =
+    Arg.(value & flag
+         & info [ "openmetrics" ]
+             ~doc:"Render the snapshot (or the last line of a run ledger) in \
+                   OpenMetrics/Prometheus text exposition format; with \
+                   $(b,--validate), lint the exposition instead of printing it.")
+  in
   let threshold =
     Arg.(value & opt (some float) None
          & info [ "threshold" ] ~docv:"FRAC"
@@ -689,8 +724,76 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Summarize, validate or diff telemetry files (metrics snapshots, \
-             Chrome traces, benchmark histories)")
-    Term.(const run $ file $ file2 $ validate $ diff $ threshold)
+             run ledgers, postmortems, Chrome traces, benchmark histories)")
+    Term.(const run $ file $ file2 $ validate $ diff $ openmetrics $ threshold)
+
+(* ---------------- top ---------------- *)
+
+let top_cmd =
+  let run target interval once =
+    let resolve () =
+      match target with
+      | Some t when Sys.is_directory t -> Some (Filename.concat t "metrics.jsonl")
+      | Some t -> Some t
+      | None -> Obs.latest_run_ledger ()
+    in
+    let ledger =
+      match resolve () with
+      | Some l -> l
+      | None ->
+          Printf.eprintf "liger top: no run ledger found under %s/ — start a run with \
+                          --metrics-every (or LIGER_METRICS_EVERY)\n"
+            (Obs.runs_root ());
+          exit 1
+    in
+    let frame () =
+      match Obs.top_frame ledger with
+      | Ok text -> Some text
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          None
+    in
+    if once then (match frame () with Some t -> print_string t | None -> exit 1)
+    else begin
+      let stop = ref false in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+      let misses = ref 0 in
+      while not !stop do
+        (match frame () with
+        | Some t ->
+            misses := 0;
+            (* clear screen + home, then the frame *)
+            print_string "\027[2J\027[H";
+            print_string t;
+            print_string (Printf.sprintf "\n(refreshing every %.1fs; ctrl-c to quit)\n" interval);
+            flush stdout
+        | None ->
+            incr misses;
+            if !misses > 5 then stop := true);
+        Unix.sleepf interval
+      done
+    end
+  in
+  let target =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"RUN"
+             ~doc:"Run directory or ledger file to tail; default: the most \
+                   recently updated ledger under $(i,runs/).")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ] ~doc:"Render a single frame and exit (no screen clearing).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live view of a training run: tail its ledger and render throughput, \
+             loss, grad-norm quantiles, pool utilization, GC and bufpool \
+             occupancy with per-interval deltas")
+    Term.(const run $ target $ interval $ once)
 
 let () =
   Obs.init_logging ();
@@ -698,8 +801,11 @@ let () =
   Obs.init ();
   let doc = "Blended, precise semantic program embeddings (LiGer, PLDI 2020)" in
   let info = Cmd.info "liger" ~version:"1.0.0" ~doc in
+  (* ~catch:false: an uncaught exception must reach the flight recorder's
+     uncaught-exception handler (postmortem dump) instead of cmdliner's
+     catch-all pretty-printer *)
   exit
-    (Cmd.eval
+    (Cmd.eval ~catch:false
        (Cmd.group info
           [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
-            similar_cmd; probe_cmd; experiments_cmd; stats_cmd; fuzz_cmd ]))
+            similar_cmd; probe_cmd; experiments_cmd; stats_cmd; top_cmd; fuzz_cmd ]))

@@ -123,9 +123,7 @@ type history = {
                            so best-epoch selection carried no information *)
 }
 
-(** Train [model] on [train], selecting the epoch with the best score on
-    [valid]. *)
-let fit ?(options = default_options) rng model ~train ~valid =
+let fit_inner ~options rng model ~train ~valid =
   Obs.Span.with_ ~name:"train.fit" ~args:(fun () -> [ ("model", model.name) ])
   @@ fun () ->
   let opt = Optimizer.adam ~lr:options.lr () in
@@ -151,6 +149,7 @@ let fit ?(options = default_options) rng model ~train ~valid =
       ~args:(fun () ->
         [ ("model", model.name); ("epoch", string_of_int epoch) ])
     @@ fun () ->
+    Obs.failpoint "train.epoch";
     let t0 = Unix.gettimeofday () in
     Rng.shuffle rng examples;
     let total = ref 0.0 in
@@ -185,6 +184,7 @@ let fit ?(options = default_options) rng model ~train ~valid =
           off := !off + len;
           let btape = Batched.tape () in
           let per_ex = b.train_loss_batch btape chunk in
+          Obs.Metrics.gauge "train.tape_nodes" (float_of_int (Batched.length btape));
           let v = Batched.value per_ex in
           for g = 0 to len - 1 do
             total := !total +. Tensor.get v g 0
@@ -215,6 +215,14 @@ let fit ?(options = default_options) rng model ~train ~valid =
     times := dt :: !times;
     Obs.Metrics.fadd "train.epoch_seconds" ~labels:[ ("model", model.name) ] dt;
     Obs.Metrics.gauge "train.loss" ~labels:[ ("model", model.name) ] mean_loss;
+    (* a NaN/inf *loss* means the forward pass itself is poisoned (the
+       skipped-step guard only covers non-finite gradients under a finite
+       loss); training past it would silently optimize garbage, so abort —
+       the wrapper in [fit] dumps the flight recorder on the way out *)
+    if not (Float.is_finite mean_loss) then
+      failwith
+        (Printf.sprintf "Train.fit: non-finite training loss (%s, epoch %d)" model.name
+           epoch);
     (* throughput gauges (latest epoch wins): examples/s, sub-tokens/s over
        the naming labels, and a mean-epoch-time ETA for the remaining work *)
     if Obs.Metrics.enabled () then begin
@@ -267,6 +275,19 @@ let fit ?(options = default_options) rng model ~train ~valid =
     skipped_steps = !skipped;
     vacuous_best = vacuous;
   }
+
+(** Train [model] on [train], selecting the epoch with the best score on
+    [valid].
+
+    Any exception escaping the training loop (including the non-finite
+    loss abort and injected failpoints) dumps the flight recorder to the
+    run directory before propagating, so a crashed run always leaves its
+    last spans and a final metrics snapshot behind. *)
+let fit ?(options = default_options) rng model ~train ~valid =
+  try fit_inner ~options rng model ~train ~valid
+  with e ->
+    Obs.crash_dump ~reason:("train.fit: " ^ Printexc.to_string e) ();
+    raise e
 
 (* ---------------- evaluation summaries ---------------- *)
 

@@ -143,6 +143,10 @@ let run ?(oracles = default_oracles) ?(iters = 200) ?budget_s
   in
   let record_failure o ~iter ~gen_seed ~oracle_seed ~msg m =
     Metrics.incr ~labels:[ ("oracle", o.Oracle.name) ] "fuzz.failures";
+    if Obs.Recorder.enabled () then
+      Obs.Recorder.note
+        ~detail:(Printf.sprintf "%s at iter %d: %s" o.Oracle.name iter msg)
+        "fuzz.failure";
     let sh = shrink_failure o ~oracle_seed m in
     Metrics.add "fuzz.shrink_steps" sh.Shrink.steps;
     (* re-derive the message for the *shrunk* program where possible, so the
@@ -164,6 +168,9 @@ let run ?(oracles = default_oracles) ?(iters = 200) ?budget_s
     let lo = !i in
     let hi = min iters (lo + chunk_size) in
     i := hi;
+    (* a crash mid-battery leaves the chunk bounds in the flight ring *)
+    if Obs.Recorder.enabled () then
+      Obs.Recorder.note ~detail:(Printf.sprintf "iters %d..%d" lo (hi - 1)) "fuzz.chunk";
     (* generation is sequential: the statement-id counter is global *)
     let meths =
       Array.init (hi - lo) (fun k -> Gen.gen ~config:gen_config (Rng.create gen_seeds.(lo + k)))

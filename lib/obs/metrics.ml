@@ -223,6 +223,29 @@ let render_key name labels =
       ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
       ^ "}"
 
+(** Inverse of {!render_key}: split ["name{k=v,...}"] back into the name
+    and its (canonically sorted) labels.  Label values must not contain
+    [','] or ['}'] — which the pipeline's low-cardinality labels (model,
+    oracle, domain, reason) never do. *)
+let parse_rendered_key key =
+  match String.index_opt key '{' with
+  | None -> (key, [])
+  | Some i when String.length key > i && key.[String.length key - 1] = '}' ->
+      let name = String.sub key 0 i in
+      let body = String.sub key (i + 1) (String.length key - i - 2) in
+      let labels =
+        if body = "" then []
+        else
+          String.split_on_char ',' body
+          |> List.map (fun kv ->
+                 match String.index_opt kv '=' with
+                 | Some j ->
+                     (String.sub kv 0 j, String.sub kv (j + 1) (String.length kv - j - 1))
+                 | None -> (kv, ""))
+      in
+      (name, canon labels)
+  | Some _ -> (key, [])
+
 (** Render a snapshot as JSON with deterministic key order: one object per
     metric kind, keys of the form [name{label=value,...}]. *)
 let to_json (snap : snapshot) =
@@ -264,6 +287,54 @@ let to_json (snap : snapshot) =
             (floats h.buckets) (ints h.counts) (Json.of_float h.sum) h.count
       | _ -> assert false);
   Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(** Render a snapshot as one compact line of JSON — the run-ledger
+    (JSONL) format of {!Timeseries}.  [extra] fields (already-rendered
+    JSON values, e.g. a timestamp) come first; the four metric sections
+    follow in the same deterministic order as {!to_json}, so every
+    ledger line is itself a valid metrics snapshot. *)
+let to_json_compact ?(extra = []) (snap : snapshot) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "\"%s\":%s," (Json.escape k) v))
+    extra;
+  let section kind keep render =
+    let entries = List.filter keep snap in
+    Buffer.add_string buf (Printf.sprintf "\"%s\":{" kind);
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":%s"
+             (Json.escape (render_key e.e_name e.e_labels))
+             (render e.e_value)))
+      entries;
+    Buffer.add_char buf '}'
+  in
+  section "counters"
+    (fun e -> match e.e_value with C _ -> true | _ -> false)
+    (function C n -> string_of_int n | _ -> assert false);
+  Buffer.add_char buf ',';
+  section "fcounters"
+    (fun e -> match e.e_value with F _ -> true | _ -> false)
+    (function F x -> Json.of_float x | _ -> assert false);
+  Buffer.add_char buf ',';
+  section "gauges"
+    (fun e -> match e.e_value with G _ -> true | _ -> false)
+    (function G x -> Json.of_float x | _ -> assert false);
+  Buffer.add_char buf ',';
+  section "histograms"
+    (fun e -> match e.e_value with H _ -> true | _ -> false)
+    (function
+      | H h ->
+          let floats a = String.concat "," (List.map Json.of_float (Array.to_list a)) in
+          let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+          Printf.sprintf "{\"buckets\":[%s],\"counts\":[%s],\"sum\":%s,\"count\":%d}"
+            (floats h.buckets) (ints h.counts) (Json.of_float h.sum) h.count
+      | _ -> assert false);
+  Buffer.add_char buf '}';
   Buffer.contents buf
 
 let write path =

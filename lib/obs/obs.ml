@@ -19,6 +19,9 @@ module Metrics = Metrics
 module Span = Span
 module Profile = Profile
 module Bench_store = Bench_store
+module Recorder = Recorder
+module Timeseries = Timeseries
+module Openmetrics = Openmetrics
 
 (* ---------------- logging ---------------- *)
 
@@ -69,34 +72,205 @@ let init_logging ?(out = Format.err_formatter) () =
   Logs.set_level ~all:true level;
   Logs.set_reporter (reporter out)
 
+(* ---------------- the run directory ---------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** This process's run id: [LIGER_RUN_ID] when set (pin it for
+    deterministic CI paths), otherwise timestamp + pid. *)
+let run_id =
+  lazy
+    (match Sys.getenv_opt "LIGER_RUN_ID" with
+    | Some s when String.trim s <> "" -> String.trim s
+    | _ ->
+        let t = Unix.gettimeofday () in
+        let tm = Unix.localtime t in
+        Printf.sprintf "%04d%02d%02d-%02d%02d%02d-%d" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+          (Unix.getpid ()))
+
+(** Root under which run directories are created: [LIGER_RUNS_DIR],
+    default ["runs"]. *)
+let runs_root () =
+  match Sys.getenv_opt "LIGER_RUNS_DIR" with
+  | Some s when String.trim s <> "" -> String.trim s
+  | _ -> "runs"
+
+(** The per-run telemetry directory [runs/<run-id>/], created on first
+    use.  Default telemetry outputs land here instead of strewing the
+    repository root; a run that configures no telemetry never creates
+    it. *)
+let run_dir () =
+  let dir = Filename.concat (runs_root ()) (Lazy.force run_id) in
+  mkdir_p dir;
+  dir
+
+let in_run_dir name = Filename.concat (run_dir ()) name
+
+(* ---------------- failpoints (crash injection) ---------------- *)
+
+exception Injected_failure of string
+
+(* [LIGER_FAILPOINT=site[:n]] arms one failpoint: the [n]-th time
+   execution passes [failpoint site] (default: the first), it raises
+   {!Injected_failure} — CI uses this to prove a mid-train crash leaves
+   a postmortem artifact. *)
+let failpoint_spec : (string * int) option ref = ref None
+let failpoint_armed = ref false
+let failpoint_hits : (string, int ref) Hashtbl.t = Hashtbl.create 4
+
+let parse_failpoint s =
+  match String.index_opt s ':' with
+  | None -> Some (String.trim s, 1)
+  | Some i -> (
+      let site = String.trim (String.sub s 0 i) in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n > 0 -> Some (site, n)
+      | _ ->
+          Printf.eprintf "liger: ignoring LIGER_FAILPOINT=%S (expected site[:n])\n%!" s;
+          None)
+
+(** Arm ([Some "site[:n]"]) or disarm ([None]) the failpoint, overriding
+    the environment (tests). *)
+let set_failpoint spec =
+  failpoint_armed := true;
+  Hashtbl.reset failpoint_hits;
+  failpoint_spec := Option.bind spec parse_failpoint
+
+let failpoint site =
+  if not !failpoint_armed then begin
+    failpoint_armed := true;
+    match Sys.getenv_opt "LIGER_FAILPOINT" with
+    | Some s when String.trim s <> "" -> failpoint_spec := parse_failpoint s
+    | _ -> ()
+  end;
+  match !failpoint_spec with
+  | Some (s, n) when s = site ->
+      let hits =
+        match Hashtbl.find_opt failpoint_hits site with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.add failpoint_hits site r;
+            r
+      in
+      incr hits;
+      if !hits = n then begin
+        Logs.err (fun m -> m "failpoint %s fired (hit %d)" site n);
+        raise (Injected_failure site)
+      end
+  | _ -> ()
+
 (* ---------------- enabling + exit dumps ---------------- *)
 
 let metrics_path = ref None
 let trace_path = ref None
 let exit_hook = ref false
+let trace_drops_published = ref false
 
 (** Write whatever outputs were configured (also runs automatically on
     exit).  When profiling is on, the profiler's per-op/per-layer totals are
-    published into the registry first so they land in the snapshot. *)
+    published into the registry first so they land in the snapshot; the
+    run-ledger emitter is stopped with one final enriched snapshot, and
+    any span events lost to the trace cap are published as
+    [obs.trace_events_dropped]. *)
 let flush () =
   if Profile.enabled () then Profile.publish ();
+  (let d = Span.dropped_events () in
+   if d > 0 && not !trace_drops_published then begin
+     trace_drops_published := true;
+     Metrics.add "obs.trace_events_dropped" d
+   end);
+  Timeseries.enrich ();
+  Timeseries.stop ();
   (match !metrics_path with Some p -> Metrics.write p | None -> ());
   match !trace_path with Some p -> Span.write p | None -> ()
+
+(* ---------------- postmortem dumps ---------------- *)
+
+let postmortem_path = ref None
+let crash_dumped = ref false
+
+(** Dump the flight recorder (last-N events plus a final metrics
+    snapshot) to the run directory — called on uncaught exceptions,
+    fatal signals, and training aborts.  Idempotent per process (the
+    first reason wins); a no-op when the recorder is off. *)
+let crash_dump ~reason () =
+  if Recorder.enabled () && not !crash_dumped then begin
+    crash_dumped := true;
+    try
+      if Profile.enabled () then Profile.publish ();
+      Timeseries.enrich ();
+      let path =
+        match !postmortem_path with Some p -> p | None -> in_run_dir "postmortem.json"
+      in
+      Recorder.write ~run_id:(Lazy.force run_id) ~reason path;
+      Printf.eprintf "liger: flight recorder dumped to %s (%s)\n%!" path reason
+    with e -> Printf.eprintf "liger: postmortem dump failed: %s\n%!" (Printexc.to_string e)
+  end
+
+let handlers_installed = ref false
+
+(* An uncaught exception or fatal signal dumps the recorder before the
+   default handling proceeds; [at_exit] still runs on uncaught
+   exceptions, so the configured metrics/trace files are written too. *)
+let install_crash_handlers () =
+  if not !handlers_installed then begin
+    handlers_installed := true;
+    Printexc.set_uncaught_exception_handler (fun exn bt ->
+        crash_dump ~reason:("uncaught exception: " ^ Printexc.to_string exn) ();
+        Printexc.default_uncaught_exception_handler exn bt);
+    List.iter
+      (fun (signal, code, name) ->
+        try
+          Sys.set_signal signal
+            (Sys.Signal_handle
+               (fun _ ->
+                 crash_dump ~reason:("fatal signal " ^ name) ();
+                 exit code))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ (Sys.sigterm, 143, "SIGTERM"); (Sys.sigint, 130, "SIGINT") ]
+  end
 
 let truthy s =
   match String.lowercase_ascii (String.trim s) with
   | "1" | "true" | "yes" | "on" -> true
   | _ -> false
 
+let falsy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "false" | "no" | "off" -> true
+  | _ -> false
+
 (** Resolve the telemetry outputs — explicit arguments (CLI flags) win over
-    the [LIGER_METRICS_OUT] / [LIGER_TRACE_OUT] environment — enable the
-    corresponding subsystems, and arrange for the files to be written on
-    exit.  [profile] (or [LIGER_PROFILE=1]) additionally turns on the model
-    profiler, which implies the metrics registry (that is where its totals
-    are published).  With nothing configured this is a no-op and the whole
-    telemetry layer stays disabled. *)
-let init ?metrics_out ?trace_out ?(profile = false) () =
+    the environment — enable the corresponding subsystems, and arrange for
+    the files to be written on exit.
+
+    - [metrics_out] / [LIGER_METRICS_OUT] and [trace_out] /
+      [LIGER_TRACE_OUT] name explicit output files; the truthy shorthands
+      [LIGER_METRICS=1] / [LIGER_TRACE=1] enable the same subsystems with
+      default paths under {!run_dir} ([metrics.json], [trace.json]).
+    - [profile] (or [LIGER_PROFILE=1]) turns on the model profiler, which
+      implies the metrics registry (that is where its totals are
+      published); without an explicit metrics path the snapshot lands in
+      the run directory.
+    - [metrics_every] (or [LIGER_METRICS_EVERY], seconds) starts the
+      {!Timeseries} run-ledger emitter appending to
+      [runs/<run-id>/metrics.jsonl].
+    - The {!Recorder} flight ring turns on whenever any of the above is
+      configured, or explicitly via [LIGER_FLIGHT=1]; [LIGER_FLIGHT=0]
+      forces it off.  With the recorder on, crash handlers arrange a
+      postmortem dump into the run directory.
+
+    With nothing configured this is a no-op and the whole telemetry layer
+    stays disabled. *)
+let init ?metrics_out ?trace_out ?metrics_every ?(profile = false) () =
   let pick arg env = match arg with Some _ as p -> p | None -> Sys.getenv_opt env in
+  let env_truthy env = match Sys.getenv_opt env with Some s -> truthy s | None -> false in
   (match pick metrics_out "LIGER_METRICS_OUT" with
   | Some p ->
       metrics_path := Some p;
@@ -107,11 +281,47 @@ let init ?metrics_out ?trace_out ?(profile = false) () =
       trace_path := Some p;
       Span.enable ()
   | None -> ());
-  (if profile || (match Sys.getenv_opt "LIGER_PROFILE" with Some s -> truthy s | None -> false)
-   then begin
-     Profile.enable ();
-     Metrics.enable ()
+  (if env_truthy "LIGER_METRICS" then begin
+     Metrics.enable ();
+     if !metrics_path = None then metrics_path := Some (in_run_dir "metrics.json")
    end);
+  (if env_truthy "LIGER_TRACE" then begin
+     Span.enable ();
+     if !trace_path = None then trace_path := Some (in_run_dir "trace.json")
+   end);
+  (if profile || env_truthy "LIGER_PROFILE" then begin
+     Profile.enable ();
+     Metrics.enable ();
+     if !metrics_path = None then metrics_path := Some (in_run_dir "metrics.json")
+   end);
+  let every =
+    match metrics_every with
+    | Some _ as e -> e
+    | None -> (
+        match Sys.getenv_opt "LIGER_METRICS_EVERY" with
+        | None -> None
+        | Some s -> (
+            match float_of_string_opt (String.trim s) with
+            | Some e when e > 0.0 -> Some e
+            | _ ->
+                Printf.eprintf "liger: ignoring LIGER_METRICS_EVERY=%S (expected seconds > 0)\n%!" s;
+                None))
+  in
+  (match every with
+  | Some e when e > 0.0 ->
+      Metrics.enable ();
+      if !metrics_path = None then metrics_path := Some (in_run_dir "metrics.json");
+      Timeseries.start ~every:e ~path:(in_run_dir "metrics.jsonl")
+  | _ -> ());
+  let any_configured =
+    !metrics_path <> None || !trace_path <> None || Metrics.enabled () || Span.enabled ()
+    || Profile.enabled ()
+  in
+  (match Sys.getenv_opt "LIGER_FLIGHT" with
+  | Some s when truthy s -> Recorder.enable ()
+  | Some s when falsy s -> Recorder.disable ()
+  | _ -> if any_configured then Recorder.enable ());
+  if Recorder.enabled () then install_crash_handlers ();
   if (!metrics_path <> None || !trace_path <> None) && not !exit_hook then begin
     exit_hook := true;
     at_exit flush
@@ -146,6 +356,12 @@ let report () =
   let buf = Buffer.create 1024 in
   let snap = Metrics.snapshot () in
   Buffer.add_string buf "== observability report ==\n";
+  (let d = Span.dropped_events () in
+   if d > 0 then
+     Buffer.add_string buf
+       (Printf.sprintf
+          "WARNING: %d span events dropped at the trace buffer cap (%d per domain; raise LIGER_TRACE_CAP)\n"
+          d (Span.capacity ())));
   (* top spans by self time *)
   (match Span.aggregate () with
   | [] -> ()
@@ -287,12 +503,39 @@ let print_report () = if enabled () then prerr_string (report ())
 (* ---------------- readers for [liger stats] ---------------- *)
 
 let is_trace json = Json.member "traceEvents" json <> None
+let is_postmortem json = Json.member "postmortem" json = Some (Json.Bool true)
 
 (** Structural validation of a telemetry file: well-formed JSON, and for
     traces every event must be a complete "X" event with a duration (or a
     matched "B"/"E" pair).  Returns a one-line summary. *)
-let validate_json json =
-  if is_trace json then begin
+let rec validate_json json =
+  if is_postmortem json then begin
+    let reason =
+      Option.value ~default:"?" (Option.bind (Json.member "reason" json) Json.to_string)
+    in
+    match Option.bind (Json.member "events" json) Json.to_list with
+    | None -> Error "postmortem without an events array"
+    | Some events -> (
+        let bad_event ev =
+          let has name f = Option.bind (Json.member name ev) f <> None in
+          not
+            (has "seq" Json.to_float && has "ts" Json.to_float && has "kind" Json.to_string
+            && has "name" Json.to_string)
+        in
+        if List.exists bad_event events then
+          Error "postmortem event missing seq/ts/kind/name"
+        else
+          match Json.member "metrics" json with
+          | None -> Error "postmortem without a final metrics snapshot"
+          | Some m -> (
+              match validate_json m with
+              | Error msg -> Error ("postmortem metrics: " ^ msg)
+              | Ok _ ->
+                  Ok
+                    (Printf.sprintf "postmortem with %d events (reason: %s)"
+                       (List.length events) reason)))
+  end
+  else if is_trace json then begin
     match Option.bind (Json.member "traceEvents" json) Json.to_list with
     | None -> Error "traceEvents is not an array"
     | Some events ->
@@ -380,18 +623,139 @@ let validate_json json =
                  profile))
     | None -> Ok "well-formed JSON (unrecognized schema)"
 
+(* ---------------- run-ledger (JSONL) readers ---------------- *)
+
+(** Parse every non-empty line of a JSONL file. *)
+let jsonl_lines path : (Json.t list, string) result =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | l :: rest when String.trim l = "" -> go (i + 1) acc rest
+        | l :: rest -> (
+            match Json.parse l with
+            | Ok j -> go (i + 1) (j :: acc) rest
+            | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+      in
+      go 1 [] (List.rev !lines)
+
+let validate_ledger path =
+  match jsonl_lines path with
+  | Error msg -> Error msg
+  | Ok [] -> Error "empty run ledger"
+  | Ok lines ->
+      if
+        List.for_all
+          (fun l -> Json.member "ts" l <> None && Json.member "counters" l <> None)
+          lines
+      then Ok (Printf.sprintf "run ledger with %d snapshots" (List.length lines))
+      else Error "ledger line missing ts/counters"
+
 let validate_file path =
   match Json.parse_file path with
-  | Error msg -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg)
+  | Error msg -> (
+      (* not one JSON document — maybe a JSONL run ledger *)
+      match validate_ledger path with
+      | Ok summary -> Ok summary
+      | Error _ -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg))
   | Ok json -> (
       match validate_json json with
       | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
       | Ok summary -> Ok summary)
 
-(** Pretty-print a metrics snapshot or summarize a trace file. *)
-let summarize_file path =
+(** The last snapshot of [path] — a metrics JSON file, or the final line
+    of a JSONL run ledger. *)
+let last_snapshot_json path : (Json.t, string) result =
   match Json.parse_file path with
-  | Error msg -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg)
+  | Ok json -> Ok json
+  | Error msg -> (
+      match jsonl_lines path with
+      | Ok (_ :: _ as lines) -> Ok (List.nth lines (List.length lines - 1))
+      | Ok [] -> Error (Printf.sprintf "%s: empty run ledger" path)
+      | Error _ -> Error (Printf.sprintf "%s: invalid JSON: %s" path msg))
+
+(** [path] rendered in OpenMetrics exposition format ([liger stats
+    --openmetrics]); for a run ledger the last snapshot is rendered. *)
+let openmetrics_file path : (string, string) result =
+  match last_snapshot_json path with
+  | Error _ as e -> e
+  | Ok json -> (
+      let json =
+        if is_postmortem json then Option.value ~default:json (Json.member "metrics" json)
+        else json
+      in
+      match Openmetrics.render_json json with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let buf_metric_sections buf json =
+  let section title kind render =
+    match Json.member kind json with
+    | Some (Json.Obj kvs) when kvs <> [] ->
+        Buffer.add_string buf (title ^ ":\n");
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-48s %s\n" k (render v)))
+          kvs
+    | _ -> ()
+  in
+  let scalar = function
+    | Json.Num f -> if Float.is_integer f then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
+    | _ -> "?"
+  in
+  let hist = function
+    | Json.Obj _ as h -> (
+        match
+          ( Option.bind (Json.member "count" h) Json.to_float,
+            Option.bind (Json.member "sum" h) Json.to_float )
+        with
+        | Some c, Some s -> Printf.sprintf "count=%.0f sum=%g" c s
+        | _ -> "?")
+    | _ -> "?"
+  in
+  section "counters" "counters" scalar;
+  section "fcounters" "fcounters" scalar;
+  section "gauges" "gauges" scalar;
+  section "histograms" "histograms" hist
+
+(** Pretty-print a metrics snapshot, run ledger, postmortem dump, or
+    trace file. *)
+let summarize_file path =
+  match last_snapshot_json path with
+  | Error msg -> Error msg
+  | Ok json when is_postmortem json ->
+      let buf = Buffer.create 1024 in
+      let reason =
+        Option.value ~default:"?" (Option.bind (Json.member "reason" json) Json.to_string)
+      in
+      let events = Option.value ~default:[] (Option.bind (Json.member "events" json) Json.to_list) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: postmortem (%s), %d surviving events\n" path reason
+           (List.length events));
+      let tail = List.filteri (fun i _ -> i >= List.length events - 15) events in
+      List.iter
+        (fun ev ->
+          let str name = Option.value ~default:"?" (Option.bind (Json.member name ev) Json.to_string) in
+          let num name = Option.value ~default:0.0 (Option.bind (Json.member name ev) Json.to_float) in
+          let detail = str "detail" in
+          Buffer.add_string buf
+            (Printf.sprintf "  #%-6.0f d%d %-5s %s%s\n" (num "seq")
+               (int_of_float (num "domain")) (str "kind") (str "name")
+               (if detail = "" || detail = "?" then "" else " — " ^ detail)))
+        tail;
+      (match Json.member "metrics" json with
+      | Some m ->
+          Buffer.add_string buf "final snapshot:\n";
+          buf_metric_sections buf m
+      | None -> ());
+      Ok (Buffer.contents buf)
   | Ok json ->
       let buf = Buffer.create 1024 in
       if is_trace json then begin
@@ -433,34 +797,10 @@ let summarize_file path =
                rows)
       end
       else begin
-        let section title kind render =
-          match Json.member kind json with
-          | Some (Json.Obj kvs) when kvs <> [] ->
-              Buffer.add_string buf (title ^ ":\n");
-              List.iter
-                (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-48s %s\n" k (render v)))
-                kvs
-          | _ -> ()
-        in
-        let scalar = function
-          | Json.Num f -> if Float.is_integer f then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
-          | _ -> "?"
-        in
-        let hist = function
-          | Json.Obj _ as h -> (
-              match
-                ( Option.bind (Json.member "count" h) Json.to_float,
-                  Option.bind (Json.member "sum" h) Json.to_float )
-              with
-              | Some c, Some s -> Printf.sprintf "count=%.0f sum=%g" c s
-              | _ -> "?")
-          | _ -> "?"
-        in
-        Buffer.add_string buf (Printf.sprintf "%s: metrics snapshot\n" path);
-        section "counters" "counters" scalar;
-        section "fcounters" "fcounters" scalar;
-        section "gauges" "gauges" scalar;
-        section "histograms" "histograms" hist
+        (if Json.member "ts" json <> None then
+           Buffer.add_string buf (Printf.sprintf "%s: run ledger (last snapshot)\n" path)
+         else Buffer.add_string buf (Printf.sprintf "%s: metrics snapshot\n" path));
+        buf_metric_sections buf json
       end;
       Ok (Buffer.contents buf)
 
@@ -542,6 +882,151 @@ let diff_files ?threshold a b =
   | Ok (fa, la), Ok (fb, lb) ->
       Ok (Printf.sprintf "diff: %s -> %s\n%s" la lb (Bench_store.render_diff ?threshold fa fb))
   | (Error _ as e), _ | _, (Error _ as e) -> e
+
+(* ---------------- [liger top] ---------------- *)
+
+(** The most recently updated run ledger under {!runs_root} (what
+    [liger top] tails when no run is named). *)
+let latest_run_ledger () =
+  match Sys.readdir (runs_root ()) with
+  | exception Sys_error _ -> None
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             let ledger =
+               Filename.concat (Filename.concat (runs_root ()) name) "metrics.jsonl"
+             in
+             match Unix.stat ledger with
+             | st -> Some ((st.Unix.st_mtime, ledger), ledger)
+             | exception Unix.Unix_error _ -> None)
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+      |> function [] -> None | (_, ledger) :: _ -> Some ledger
+
+(** Render one frame of the [liger top] live view from the latest ledger
+    snapshot [cur], with per-interval deltas against [prev]. *)
+let render_top ?prev ~source cur : (string, string) result =
+  match Openmetrics.snapshot_of_json cur with
+  | Error _ as e -> e
+  | Ok snap ->
+      let prev_snap =
+        Option.bind prev (fun p -> Result.to_option (Openmetrics.snapshot_of_json p))
+      in
+      let ts j = Option.bind (Json.member "ts" j) Json.to_float in
+      let dt =
+        match (ts cur, Option.bind prev ts) with
+        | Some a, Some b when a > b -> Printf.sprintf "  (+%.1fs)" (a -. b)
+        | _ -> ""
+      in
+      let seq =
+        match Option.bind (Json.member "seq" cur) Json.to_float with
+        | Some s -> Printf.sprintf "  snapshot #%.0f" s
+        | None -> ""
+      in
+      let buf = Buffer.create 1024 in
+      let line fmt =
+        Printf.ksprintf
+          (fun s ->
+            Buffer.add_string buf s;
+            Buffer.add_char buf '\n')
+          fmt
+      in
+      line "liger top — %s%s%s" source seq dt;
+      let g ?labels name = Metrics.gauge_value ?labels snap name in
+      let pgauge name = Option.bind prev_snap (fun ps -> Metrics.gauge_value ps name) in
+      let with_delta name cur =
+        match pgauge name with
+        | Some p when cur >= p -> Printf.sprintf "%.0f (+%.0f)" cur (cur -. p)
+        | _ -> Printf.sprintf "%.0f" cur
+      in
+      (* training throughput / loss / validation, per model *)
+      List.iter
+        (fun (e : Metrics.entry) ->
+          let model = match e.Metrics.e_labels with (_, v) :: _ -> v | [] -> "?" in
+          let labels = e.Metrics.e_labels in
+          let eps = match e.Metrics.e_value with Metrics.G x -> x | _ -> 0.0 in
+          line "train[%s]: %.1f ex/s, loss %s, valid %s%s" model eps
+            (match g ~labels "train.loss" with Some l -> Printf.sprintf "%.4f" l | None -> "-")
+            (match g ~labels "train.valid_score" with
+            | Some v -> Printf.sprintf "%.3f" v
+            | None -> "-")
+            (match g ~labels "train.eta_seconds" with
+            | Some eta when eta > 0.0 -> Printf.sprintf ", eta %.0fs" eta
+            | _ -> ""))
+        (Metrics.entries_with snap "train.examples_per_second");
+      (* grad-norm quantiles with per-interval step delta *)
+      List.iter
+        (fun (e : Metrics.entry) ->
+          match e.Metrics.e_value with
+          | Metrics.H h when h.Metrics.count > 0 ->
+              let fresh =
+                match
+                  Option.bind prev_snap (fun ps ->
+                      Metrics.hist_view ~labels:e.Metrics.e_labels ps "train.grad_norm")
+                with
+                | Some ph -> h.Metrics.count - ph.Metrics.count
+                | None -> h.Metrics.count
+              in
+              line "grad-norm: p50 %.3f  p90 %.3f  p99 %.3f  (%d steps, +%d this interval)"
+                (Metrics.quantile h 0.5) (Metrics.quantile h 0.9) (Metrics.quantile h 0.99)
+                h.Metrics.count fresh
+          | _ -> ())
+        (Metrics.entries_with snap "train.grad_norm");
+      (* pool utilization *)
+      let fsum name =
+        List.fold_left
+          (fun acc (e : Metrics.entry) ->
+            match e.Metrics.e_value with Metrics.F x -> acc +. x | _ -> acc)
+          0.0
+          (Metrics.entries_with snap name)
+      in
+      let busy_lanes = List.length (Metrics.entries_with snap "parallel.busy_seconds") in
+      let wall = Metrics.fcounter_value snap "parallel.wall_seconds" in
+      (if busy_lanes > 0 && wall > 0.0 then
+         line "pool: %.1f%% utilization (%d lanes, %d tasks in %d batches)"
+           (100.0 *. fsum "parallel.busy_seconds" /. (wall *. float_of_int busy_lanes))
+           busy_lanes
+           (Metrics.counter_value snap "parallel.tasks")
+           (Metrics.counter_value snap "parallel.batches"));
+      (* GC pressure *)
+      (match g "gc.minor_collections" with
+      | Some minor ->
+          line "gc: minor %s, major %s, heap %.1f MB (top %.1f MB)"
+            (with_delta "gc.minor_collections" minor)
+            (match g "gc.major_collections" with
+            | Some x -> with_delta "gc.major_collections" x
+            | None -> "-")
+            (Option.value ~default:0.0 (g "gc.heap_words") *. 8.0 /. 1e6)
+            (Option.value ~default:0.0 (g "gc.top_heap_words") *. 8.0 /. 1e6)
+      | None -> ());
+      (* bufpool occupancy (gauges are per-domain; sum the lanes) *)
+      let gsum name =
+        List.fold_left
+          (fun acc (e : Metrics.entry) ->
+            match e.Metrics.e_value with Metrics.G x -> acc +. x | _ -> acc)
+          0.0
+          (Metrics.entries_with snap name)
+      in
+      let hits = gsum "bufpool.hits" and misses = gsum "bufpool.misses" in
+      (if hits +. misses > 0.0 then
+         line "bufpool: %.0f leased (hw %.0f), %.0f pooled (%.1f MB), %.1f%% hit rate"
+           (gsum "bufpool.leased") (gsum "bufpool.hw_leased") (gsum "bufpool.pooled_buffers")
+           (gsum "bufpool.pooled_elements" *. 8.0 /. 1e6)
+           (100.0 *. hits /. (hits +. misses)));
+      (match g "train.tape_nodes" with
+      | Some n -> line "tape: %.0f nodes on the last batched tape" n
+      | None -> ());
+      Ok (Buffer.contents buf)
+
+(** One [liger top] frame for the ledger at [path]. *)
+let top_frame path : (string, string) result =
+  match jsonl_lines path with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok [] -> Error (Printf.sprintf "%s: empty run ledger" path)
+  | Ok lines ->
+      let n = List.length lines in
+      let cur = List.nth lines (n - 1) in
+      let prev = if n >= 2 then Some (List.nth lines (n - 2)) else None in
+      render_top ?prev ~source:path cur
 
 (** [diff_history path] compares the last two records of one JSONL
     history. *)

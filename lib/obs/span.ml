@@ -25,6 +25,8 @@ type dstate = {
   dtid : int;
   mutable events : event list;
   mutable stack : frame list;
+  mutable n_kept : int;     (* events currently buffered *)
+  mutable n_dropped : int;  (* events lost to the trace cap *)
 }
 
 let enabled_flag = Atomic.make false
@@ -34,6 +36,36 @@ let disable () = Atomic.set enabled_flag false
 
 let epoch = Unix.gettimeofday ()
 
+(* The trace buffer is bounded so a multi-hour traced run cannot grow
+   without limit: once a domain has buffered [capacity ()] events, new
+   ones are counted in [n_dropped] instead of kept (the Chrome trace
+   keeps the run's prefix; the flight recorder covers the suffix). *)
+let default_capacity = 262_144
+
+let capacity_ref = ref None
+
+(** Per-domain span buffer cap: [LIGER_TRACE_CAP], default 262144. *)
+let capacity () =
+  match !capacity_ref with
+  | Some c -> c
+  | None ->
+      let c =
+        match Sys.getenv_opt "LIGER_TRACE_CAP" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some c when c > 0 -> c
+            | _ ->
+                Printf.eprintf "liger: ignoring LIGER_TRACE_CAP=%S (expected a positive int)\n%!" s;
+                default_capacity)
+        | None -> default_capacity
+      in
+      capacity_ref := Some c;
+      c
+
+let set_capacity c =
+  if c <= 0 then invalid_arg "Span.set_capacity";
+  capacity_ref := Some c
+
 (* every domain registers its state on first use; states survive the domain
    (a retired pool worker's spans still export) *)
 let states_mutex = Mutex.create ()
@@ -41,7 +73,9 @@ let states : dstate list ref = ref []
 
 let state_key =
   Domain.DLS.new_key (fun () ->
-      let st = { dtid = (Domain.self () :> int); events = []; stack = [] } in
+      let st =
+        { dtid = (Domain.self () :> int); events = []; stack = []; n_kept = 0; n_dropped = 0 }
+      in
       Mutex.lock states_mutex;
       states := st :: !states;
       Mutex.unlock states_mutex;
@@ -53,11 +87,29 @@ let depth () =
   else List.length (Domain.DLS.get state_key).stack
 
 (** [with_ ~name f] runs [f] inside a span.  [args] (thunked, only forced
-    when tracing is on) become the event's args in the trace viewer.  The
-    span closes on exceptions too. *)
+    when tracing is on and the event is kept) become the event's args in
+    the trace viewer.  The span closes on exceptions too.
+
+    When the {!Recorder} is on, the span's begin and end also land in the
+    flight-recorder ring — with or without tracing, so a crash in an
+    untraced run still leaves a forensic trail. *)
 let with_ ?(args = fun () -> []) ~name f =
-  if not (Atomic.get enabled_flag) then f ()
+  let trace_on = Atomic.get enabled_flag in
+  if not trace_on && not (Recorder.enabled ()) then f ()
+  else if not trace_on then begin
+    (* flight recorder only: breadcrumbs, no span buffer, no args *)
+    Recorder.span_begin name;
+    match f () with
+    | r ->
+        Recorder.span_end name;
+        r
+    | exception e ->
+        Recorder.span_end name;
+        raise e
+  end
   else begin
+    let rec_on = Recorder.enabled () in
+    if rec_on then Recorder.span_begin name;
     let st = Domain.DLS.get state_key in
     let fr = { start = Unix.gettimeofday (); child = 0.0 } in
     st.stack <- fr :: st.stack;
@@ -65,16 +117,21 @@ let with_ ?(args = fun () -> []) ~name f =
       let dur = Unix.gettimeofday () -. fr.start in
       (match st.stack with _ :: rest -> st.stack <- rest | [] -> ());
       (match st.stack with parent :: _ -> parent.child <- parent.child +. dur | [] -> ());
-      st.events <-
-        {
-          ev_name = name;
-          ev_args = args ();
-          ts_us = (fr.start -. epoch) *. 1e6;
-          dur_us = dur *. 1e6;
-          self_us = (dur -. fr.child) *. 1e6;
-          tid = st.dtid;
-        }
-        :: st.events
+      (if st.n_kept < capacity () then begin
+         st.n_kept <- st.n_kept + 1;
+         st.events <-
+           {
+             ev_name = name;
+             ev_args = args ();
+             ts_us = (fr.start -. epoch) *. 1e6;
+             dur_us = dur *. 1e6;
+             self_us = (dur -. fr.child) *. 1e6;
+             tid = st.dtid;
+           }
+           :: st.events
+       end
+       else st.n_dropped <- st.n_dropped + 1);
+      if rec_on then Recorder.span_end name
     in
     match f () with
     | r ->
@@ -92,12 +149,21 @@ let events () =
   Mutex.unlock states_mutex;
   List.sort (fun a b -> compare (a.ts_us, a.tid, a.ev_name) (b.ts_us, b.tid, b.ev_name)) all
 
+(** Events lost to the trace cap, across domains. *)
+let dropped_events () =
+  Mutex.lock states_mutex;
+  let d = List.fold_left (fun acc st -> acc + st.n_dropped) 0 !states in
+  Mutex.unlock states_mutex;
+  d
+
 let reset () =
   Mutex.lock states_mutex;
   List.iter
     (fun st ->
       st.events <- [];
-      st.stack <- [])
+      st.stack <- [];
+      st.n_kept <- 0;
+      st.n_dropped <- 0)
     !states;
   Mutex.unlock states_mutex
 

@@ -1,0 +1,121 @@
+(** Periodic time-series snapshots of the {!Metrics} registry — the run
+    ledger.
+
+    [start ~every ~path] spawns a background thread that appends one
+    compact JSON line per interval to [path] (a JSONL file under the run
+    directory, see {!Obs.run_dir}).  Every line is itself a valid
+    metrics snapshot plus ["ts"] / ["seq"] fields, so [liger stats
+    --validate] and the OpenMetrics renderer work on individual lines,
+    and [liger top] tails the file to compute per-interval deltas.
+
+    Before each snapshot the registry is *enriched*: built-in OCaml GC
+    gauges are published, then every registered enricher callback runs.
+    Subsystems below [lib/obs] in the dependency order (e.g.
+    {!Liger_tensor.Bufpool}) register an enricher at module
+    initialisation instead of being called from here — the registry
+    callback keeps the dependency arrow pointing the right way. *)
+
+let enrichers_mutex = Mutex.create ()
+let enrichers : (unit -> unit) list ref = ref []
+
+(** Register a callback that publishes gauges into {!Metrics} just
+    before each ledger snapshot (and once more at the final flush).
+    Callbacks must be cheap and must not raise (exceptions are
+    swallowed). *)
+let register_enricher f =
+  Mutex.lock enrichers_mutex;
+  enrichers := f :: !enrichers;
+  Mutex.unlock enrichers_mutex
+
+(* OCaml GC pressure, the first suspect when throughput sags.
+   [Gc.quick_stat] is exact for everything published here except
+   [minor_words], which is within one minor heap of exact — fine for a
+   trend line. *)
+let gc_enrich () =
+  let s = Gc.quick_stat () in
+  Metrics.gauge "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+  Metrics.gauge "gc.major_collections" (float_of_int s.Gc.major_collections);
+  Metrics.gauge "gc.compactions" (float_of_int s.Gc.compactions);
+  Metrics.gauge "gc.minor_words" s.Gc.minor_words;
+  Metrics.gauge "gc.promoted_words" s.Gc.promoted_words;
+  Metrics.gauge "gc.major_words" s.Gc.major_words;
+  Metrics.gauge "gc.heap_words" (float_of_int s.Gc.heap_words);
+  Metrics.gauge "gc.top_heap_words" (float_of_int s.Gc.top_heap_words)
+
+(** Publish the GC gauges and run every registered enricher.  A no-op
+    when the metrics registry is disabled. *)
+let enrich () =
+  if Metrics.enabled () then begin
+    gc_enrich ();
+    Mutex.lock enrichers_mutex;
+    let fs = !enrichers in
+    Mutex.unlock enrichers_mutex;
+    List.iter (fun f -> try f () with _ -> ()) fs
+  end
+
+(* ---------------- the ledger ---------------- *)
+
+let emit_mutex = Mutex.create ()
+let seq = ref 0
+
+(** Append one enriched snapshot line to the ledger at [path]. *)
+let tick ~path () =
+  enrich ();
+  let snap = Metrics.snapshot () in
+  Mutex.lock emit_mutex;
+  let line =
+    Metrics.to_json_compact
+      ~extra:[ ("ts", Json.of_float (Unix.gettimeofday ())); ("seq", string_of_int !seq) ]
+      snap
+  in
+  incr seq;
+  (match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+      output_string oc line;
+      output_char oc '\n';
+      close_out oc
+  | exception Sys_error msg -> Printf.eprintf "liger: ledger append failed: %s\n%!" msg);
+  Mutex.unlock emit_mutex
+
+(* ---------------- the background emitter ---------------- *)
+
+let stop_flag = Atomic.make false
+let running = ref None  (* interval, path *)
+
+let active () = !running <> None
+
+let emitter_loop every path =
+  let slept = ref 0.0 in
+  while not (Atomic.get stop_flag) do
+    if !slept >= every then begin
+      slept := 0.0;
+      tick ~path ()
+    end
+    else begin
+      (* sleep in small increments so stop () takes effect promptly *)
+      let d = Float.min 0.25 (every -. !slept) in
+      Thread.delay d;
+      slept := !slept +. d
+    end
+  done
+
+(** Start the periodic emitter (idempotent; the first call wins).
+    Implies an enabled metrics registry — there is nothing to snapshot
+    otherwise. *)
+let start ~every ~path =
+  if not (active ()) && every > 0.0 then begin
+    Metrics.enable ();
+    Atomic.set stop_flag false;
+    running := Some (every, path);
+    ignore (Thread.create (fun () -> emitter_loop every path) ())
+  end
+
+(** Stop the emitter and append one final snapshot line (so the ledger
+    always ends with the run's terminal state). *)
+let stop () =
+  match !running with
+  | None -> ()
+  | Some (_, path) ->
+      Atomic.set stop_flag true;
+      running := None;
+      tick ~path ()

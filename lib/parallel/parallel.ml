@@ -245,12 +245,20 @@ let get_pool () =
     | Some p -> p
     | None ->
         let recommended = Domain.recommended_domain_count () in
-        if n > recommended then
+        if n > recommended then begin
           Logs.warn (fun m ->
               m
                 "Parallel: %d jobs on %d available core(s) oversubscribes the CPU; \
                  expect a slowdown, not a speedup (see DESIGN.md)"
                 n recommended);
+          if Liger_obs.Recorder.enabled () then
+            Liger_obs.Recorder.note
+              ~detail:(Printf.sprintf "%d jobs on %d cores" n recommended)
+              "parallel.oversubscribed"
+        end;
+        Liger_obs.Metrics.gauge "parallel.jobs" (float_of_int n);
+        if Liger_obs.Recorder.enabled () then
+          Liger_obs.Recorder.note ~detail:(string_of_int n ^ " jobs") "parallel.pool_created";
         let pool =
           {
             workers = [||];

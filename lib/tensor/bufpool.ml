@@ -20,30 +20,77 @@
       uninitialised.
 
     The pool is capacity-bounded per size class ({!max_per_class}) so a
-    one-off giant batch cannot pin its buffers forever. *)
+    one-off giant batch cannot pin its buffers forever.
 
-type stats = { mutable hits : int; mutable misses : int; mutable returned : int }
+    Occupancy telemetry: each pool keeps incrementally-maintained lease
+    and occupancy counters, and {!publish} turns them into per-domain
+    [bufpool.*] gauges.  It is registered as a {!Liger_obs.Timeseries}
+    enricher at module initialisation, so run-ledger snapshots carry the
+    pool state without [lib/obs] ever depending on this library.  The
+    publisher reads other domains' counters without taking a lock —
+    int fields are word-atomic, and a momentarily stale gauge is fine
+    for a trend line. *)
 
-type pool = { classes : (int, Tensor.buf list ref) Hashtbl.t; stats : stats }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable returned : int;
+  mutable leased : int;        (* buffers out on lease right now *)
+  mutable hw_leased : int;     (* high-water mark of [leased] *)
+  mutable pooled : int;        (* buffers parked in freelists *)
+  mutable pooled_elems : int;  (* float elements parked in freelists *)
+}
+
+type pool = { dom : int; classes : (int, Tensor.buf list ref) Hashtbl.t; stats : stats }
 
 let max_per_class = 64
 
+(* every domain registers its pool on first use so [publish] can walk
+   them; pools survive the domain (a retired worker's counters still
+   publish) *)
+let pools_mutex = Mutex.create ()
+let pools : pool list ref = ref []
+
 let key : pool Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { classes = Hashtbl.create 32; stats = { hits = 0; misses = 0; returned = 0 } })
+      let p =
+        {
+          dom = (Domain.self () :> int);
+          classes = Hashtbl.create 32;
+          stats =
+            {
+              hits = 0;
+              misses = 0;
+              returned = 0;
+              leased = 0;
+              hw_leased = 0;
+              pooled = 0;
+              pooled_elems = 0;
+            };
+        }
+      in
+      Mutex.lock pools_mutex;
+      pools := p :: !pools;
+      Mutex.unlock pools_mutex;
+      p)
 
 let pool () = Domain.DLS.get key
 
 (** Lease a buffer of exactly [n] elements; contents are unspecified. *)
 let take n : Tensor.buf =
   let p = pool () in
+  let s = p.stats in
+  s.leased <- s.leased + 1;
+  if s.leased > s.hw_leased then s.hw_leased <- s.leased;
   match Hashtbl.find_opt p.classes n with
   | Some ({ contents = b :: rest } as cell) ->
       cell := rest;
-      p.stats.hits <- p.stats.hits + 1;
+      s.hits <- s.hits + 1;
+      s.pooled <- s.pooled - 1;
+      s.pooled_elems <- s.pooled_elems - n;
       b
   | _ ->
-      p.stats.misses <- p.stats.misses + 1;
+      s.misses <- s.misses + 1;
       Tensor.alloc_buf n
 
 (** Lease a zero-filled buffer of exactly [n] elements (gradients). *)
@@ -56,7 +103,9 @@ let take_zeroed n =
 let give (b : Tensor.buf) =
   let p = pool () in
   let n = Bigarray.Array1.dim b in
-  p.stats.returned <- p.stats.returned + 1;
+  let s = p.stats in
+  s.returned <- s.returned + 1;
+  s.leased <- s.leased - 1;
   let cell =
     match Hashtbl.find_opt p.classes n with
     | Some cell -> cell
@@ -65,13 +114,50 @@ let give (b : Tensor.buf) =
         Hashtbl.add p.classes n cell;
         cell
   in
-  if List.length !cell < max_per_class then cell := b :: !cell
+  if List.length !cell < max_per_class then begin
+    cell := b :: !cell;
+    s.pooled <- s.pooled + 1;
+    s.pooled_elems <- s.pooled_elems + n
+  end
 
 (** Drop every pooled buffer on the current domain (tests; memory release). *)
 let clear () =
   let p = pool () in
-  Hashtbl.reset p.classes
+  Hashtbl.reset p.classes;
+  p.stats.pooled <- 0;
+  p.stats.pooled_elems <- 0
 
 let stats () =
   let s = (pool ()).stats in
   (s.hits, s.misses, s.returned)
+
+(** Current-domain occupancy: (leased, high-water leased, pooled
+    buffers, pooled elements). *)
+let occupancy () =
+  let s = (pool ()).stats in
+  (s.leased, s.hw_leased, s.pooled, s.pooled_elems)
+
+(** Publish every domain's pool counters as per-domain [bufpool.*]
+    gauges.  Registered as a run-ledger enricher below; a no-op when the
+    metrics registry is off. *)
+let publish () =
+  if Liger_obs.Metrics.enabled () then begin
+    Mutex.lock pools_mutex;
+    let ps = !pools in
+    Mutex.unlock pools_mutex;
+    List.iter
+      (fun p ->
+        let labels = [ ("domain", string_of_int p.dom) ] in
+        let s = p.stats in
+        let gauge name v = Liger_obs.Metrics.gauge ~labels name (float_of_int v) in
+        gauge "bufpool.leased" s.leased;
+        gauge "bufpool.hw_leased" s.hw_leased;
+        gauge "bufpool.pooled_buffers" s.pooled;
+        gauge "bufpool.pooled_elements" s.pooled_elems;
+        gauge "bufpool.hits" s.hits;
+        gauge "bufpool.misses" s.misses;
+        gauge "bufpool.returns" s.returned)
+      ps
+  end
+
+let () = Liger_obs.Timeseries.register_enricher publish

@@ -27,14 +27,16 @@ echo "   ok: BENCH_parallel.json written, record appended to BENCH_history.jsonl
 
 # The profiled smoke does not append to the history: profiling overhead
 # would create alternating slow/fast records inside one run shape and
-# soften the throughput gate below.
+# soften the throughput gate below.  No --metrics-out: the snapshot must
+# land in the run directory by default.
 echo "== profiled batched train smoke: per-layer/per-op accounting validates"
-dune exec --no-build bin/liger_cli.exe -- train -n 16 --epochs 3 --batch 16 --profile \
-  --metrics-out profile_metrics.json > /dev/null 2>&1
-dune exec --no-build bin/liger_cli.exe -- stats --validate profile_metrics.json \
+rm -rf runs/ci-profile
+LIGER_RUN_ID=ci-profile dune exec --no-build bin/liger_cli.exe -- \
+  train -n 16 --epochs 3 --batch 16 --profile > /dev/null 2>&1
+dune exec --no-build bin/liger_cli.exe -- stats --validate runs/ci-profile/metrics.json \
   | grep -q "profile section" || {
-    echo "   ERROR: profile section missing from profile_metrics.json" >&2; exit 1; }
-echo "   ok: profile_metrics.json has a consistent profile section"
+    echo "   ERROR: profile section missing from runs/ci-profile/metrics.json" >&2; exit 1; }
+echo "   ok: runs/ci-profile/metrics.json has a consistent profile section"
 
 echo "== benchmark history: unbatched baseline record"
 dune exec --no-build bin/liger_cli.exe -- train -n 16 --epochs 3 \
@@ -68,16 +70,42 @@ dune exec --no-build bench/main.exe -- \
   --history BENCH_history.jsonl --check-train-regression
 echo "   ok: train regression gate passed"
 
-echo "== observability smoke: trace + metrics out, then validate both"
-LIGER_TRACE_OUT=obs_trace.json LIGER_METRICS_OUT=obs_metrics.json LIGER_JOBS=2 \
+echo "== observability smoke: trace + metrics into the run dir, then validate both"
+rm -rf runs/ci-obs
+LIGER_RUN_ID=ci-obs LIGER_TRACE=1 LIGER_METRICS=1 LIGER_JOBS=2 \
   dune exec --no-build bin/liger_cli.exe -- dataset -n 40 > /dev/null
-test -f obs_trace.json
-test -f obs_metrics.json
-dune exec --no-build bin/liger_cli.exe -- stats --validate obs_trace.json
-dune exec --no-build bin/liger_cli.exe -- stats --validate obs_metrics.json
-grep -q "symexec.paths_pruned_by_absint" obs_metrics.json || {
+test -f runs/ci-obs/trace.json
+test -f runs/ci-obs/metrics.json
+dune exec --no-build bin/liger_cli.exe -- stats --validate runs/ci-obs/trace.json
+dune exec --no-build bin/liger_cli.exe -- stats --validate runs/ci-obs/metrics.json
+grep -q "symexec.paths_pruned_by_absint" runs/ci-obs/metrics.json || {
   echo "   ERROR: absint pruned no symbolic paths on the standard corpus" >&2; exit 1; }
-echo "   ok: obs_trace.json and obs_metrics.json validate (absint pruning live)"
+echo "   ok: runs/ci-obs/{trace,metrics}.json validate (absint pruning live)"
+
+echo "== run ledger smoke: 1s snapshots, OpenMetrics exposition, liger top"
+rm -rf runs/ci-ledger
+LIGER_RUN_ID=ci-ledger LIGER_METRICS_EVERY=1 dune exec --no-build bin/liger_cli.exe -- \
+  train -n 16 --epochs 3 --batch 16 > /dev/null 2>&1
+test -f runs/ci-ledger/metrics.jsonl
+test -f runs/ci-ledger/metrics.json
+dune exec --no-build bin/liger_cli.exe -- stats --validate runs/ci-ledger/metrics.jsonl
+dune exec --no-build bin/liger_cli.exe -- stats --validate --openmetrics runs/ci-ledger/metrics.jsonl
+grep -q "gc.minor_collections" runs/ci-ledger/metrics.jsonl || {
+  echo "   ERROR: ledger snapshots are not enriched with GC gauges" >&2; exit 1; }
+dune exec --no-build bin/liger_cli.exe -- top runs/ci-ledger --once > /dev/null
+echo "   ok: ledger validates, renders as OpenMetrics, and liger top reads it"
+
+echo "== crash injection: a failpoint mid-train must leave a postmortem dump"
+rm -rf runs/ci-crash
+if LIGER_RUN_ID=ci-crash LIGER_METRICS_EVERY=1 LIGER_FAILPOINT=train.epoch:2 \
+  dune exec --no-build bin/liger_cli.exe -- train -n 16 --epochs 3 --batch 16 > /dev/null 2>&1
+then
+  echo "   ERROR: injected failpoint did not abort the run" >&2
+  exit 1
+fi
+test -f runs/ci-crash/postmortem.json
+dune exec --no-build bin/liger_cli.exe -- stats --validate runs/ci-crash/postmortem.json
+echo "   ok: postmortem.json written by the crashed run and validates"
 
 echo "== differential fuzz smoke: fixed seed, all oracles, zero failures expected"
 # Fixed seed keeps this reproducible; any failure is shrunk and persisted
@@ -91,11 +119,12 @@ dune exec --no-build bin/liger_cli.exe -- fuzz --seed 1 --iters 200 --budget-s 6
 echo "   ok: concrete states stayed inside the abstract envelope"
 
 echo "== semantic probe smoke: frozen embeddings vs exact labels"
-dune exec --no-build bin/liger_cli.exe -- probe -n 30 --seed 1 --epochs 1 \
-  --probe-epochs 10 --out probe_accuracy.txt > /dev/null
-test -f probe_accuracy.txt
-grep -q "live-after" probe_accuracy.txt
-echo "   ok: probe_accuracy.txt written (uploaded as a CI artifact)"
+rm -rf runs/ci-probe
+LIGER_RUN_ID=ci-probe dune exec --no-build bin/liger_cli.exe -- probe -n 30 --seed 1 \
+  --epochs 1 --probe-epochs 10 > /dev/null
+test -f runs/ci-probe/probe_accuracy.txt
+grep -q "live-after" runs/ci-probe/probe_accuracy.txt
+echo "   ok: runs/ci-probe/probe_accuracy.txt written (uploaded as a CI artifact)"
 
 echo "== liger analyze (clean examples, strict)"
 for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do

@@ -9,7 +9,13 @@ open Liger_parallel
 module Obs = Liger_obs.Obs
 module OM = Liger_obs.Metrics
 module Span = Liger_obs.Span
+module Recorder = Liger_obs.Recorder
 module Json = Liger_obs.Json
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 (* Each test starts from a clean, enabled registry; the flags are global to
    the process, so tests must not assume they start disabled. *)
@@ -179,6 +185,22 @@ let test_chrome_trace_golden () =
   | Error msg -> Alcotest.fail ("validate_file rejected the trace: " ^ msg));
   Sys.remove path
 
+let test_trace_cap () =
+  fresh_spans ();
+  Span.set_capacity 3;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_capacity Span.default_capacity;
+      Span.reset ())
+    (fun () ->
+      for i = 1 to 10 do
+        Span.with_ ~name:(Printf.sprintf "cap%d" i) (fun () -> ())
+      done;
+      Alcotest.(check int) "events kept at the cap" 3 (List.length (Span.events ()));
+      Alcotest.(check int) "rest counted as dropped" 7 (Span.dropped_events ());
+      Alcotest.(check bool) "report warns about the cap" true
+        (contains (Obs.report ()) "WARNING: 7 span events dropped"))
+
 let test_metrics_json_roundtrip () =
   fresh_metrics ();
   OM.incr "a.counter";
@@ -217,8 +239,10 @@ let test_metrics_json_roundtrip () =
 let test_disabled_records_nothing () =
   fresh_metrics ();
   fresh_spans ();
+  Recorder.reset ();
   OM.disable ();
   Span.disable ();
+  Recorder.disable ();
   OM.incr "off.counter";
   OM.observe "off.h" 1.0;
   let forced = ref false in
@@ -227,10 +251,38 @@ let test_disabled_records_nothing () =
       forced := true;
       [])
     (fun () -> ());
+  Recorder.note ~detail:"nope" "off.note";
   Alcotest.(check bool) "args thunk not forced when disabled" false !forced;
   Alcotest.(check int) "no counter recorded" 0
     (OM.counter_value (OM.snapshot ()) "off.counter");
   Alcotest.(check int) "no span recorded" 0 (List.length (Span.events ()));
+  Alcotest.(check int) "no flight-recorder event" 0 (List.length (Recorder.events ()));
+  OM.enable ();
+  Span.enable ()
+
+(* the wider contract: with every telemetry layer off, the hot-path entry
+   points are one branch each — nothing may be allocated, recorder
+   included (it must be cheap enough to leave on in production, and
+   free when off) *)
+let nop () = ()
+
+let test_disabled_alloc_free () =
+  fresh_metrics ();
+  fresh_spans ();
+  OM.disable ();
+  Span.disable ();
+  Recorder.disable ();
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to 1000 do
+    Span.with_ ~name:"off" nop;
+    Recorder.note "off";
+    (* the call-site guard callers use before formatting a detail string *)
+    if Recorder.enabled () then Recorder.note ~detail:"formatted" "off"
+  done;
+  let allocated = Gc.allocated_bytes () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled telemetry allocates nothing (saw %.0f bytes)" allocated)
+    true (allocated < 256.0);
   OM.enable ();
   Span.enable ()
 
@@ -336,11 +388,16 @@ let () =
           Alcotest.test_case "nesting depth and self time" `Quick
             test_span_nesting_and_self_time;
           Alcotest.test_case "span closes on exception" `Quick test_span_closes_on_exception;
+          Alcotest.test_case "trace buffer cap drops and warns" `Quick test_trace_cap;
           Alcotest.test_case "Chrome trace golden structure" `Quick test_chrome_trace_golden;
         ] );
       ( "contract",
-        [ Alcotest.test_case "disabled path records nothing" `Quick
-            test_disabled_records_nothing ] );
+        [
+          Alcotest.test_case "disabled path records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_alloc_free;
+        ] );
       ( "logging",
         [
           Alcotest.test_case "reporter emits a warning" `Quick test_logging_reporter_emits;
