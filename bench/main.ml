@@ -133,6 +133,21 @@ let micro_tests fx =
             { Liger_model.default_config with Liger_model.use_attention = false }));
     Test.make ~name:"fig11/full-config-step"
       (Staged.stage (train_step fx.liger_wrap fx.example));
+    (* Dynamics-hook overhead: the identical step with the
+       training-dynamics streams enabled.  The delta vs table2/liger-step
+       is what the one-branch-when-disabled contract keeps off the
+       default path; both flags are restored so later benches see the
+       registry exactly as before. *)
+    Test.make ~name:"dynamics/liger-step-instrumented"
+      (Staged.stage (fun () ->
+           let metrics_were_on = Liger_obs.Metrics.enabled () in
+           Liger_obs.Metrics.enable ();
+           Liger_obs.Dynamics.enable ();
+           Fun.protect
+             ~finally:(fun () ->
+               Liger_obs.Dynamics.disable ();
+               if not metrics_were_on then Liger_obs.Metrics.disable ())
+             (train_step fx.liger_wrap fx.example)));
     (* Abstract interpretation & probing kernels: the widening/narrowing
        fixpoint, the CHK dominator passes and exact probe labelling *)
     Test.make ~name:"absint/analyze"

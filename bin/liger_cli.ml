@@ -63,10 +63,19 @@ let obs_term =
                    LIGER_METRICS_EVERY; implies metrics).  Watch it live with \
                    $(b,liger top).")
   in
-  let setup metrics_out trace_out metrics_every profile =
-    Obs.init ?metrics_out ?trace_out ?metrics_every ~profile ()
+  let dynamics =
+    Arg.(value & flag
+         & info [ "dynamics" ]
+             ~doc:"Enable the training-dynamics streams: per-layer gradient \
+                   norms and update-to-weight ratios, activation saturation, \
+                   attention entropy, and embedding drift vs a frozen probe \
+                   set (implies metrics; also LIGER_DYNAMICS=1).  Feeds the \
+                   ledger, $(b,liger top) and $(b,liger report).")
   in
-  Term.(const setup $ metrics_out $ trace_out $ metrics_every $ profile)
+  let setup metrics_out trace_out metrics_every profile dynamics =
+    Obs.init ?metrics_out ?trace_out ?metrics_every ~profile ~dynamics ()
+  in
+  Term.(const setup $ metrics_out $ trace_out $ metrics_every $ profile $ dynamics)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -741,9 +750,8 @@ let top_cmd =
       match resolve () with
       | Some l -> l
       | None ->
-          Printf.eprintf "liger top: no run ledger found under %s/ — start a run with \
-                          --metrics-every (or LIGER_METRICS_EVERY)\n"
-            (Obs.runs_root ());
+          Printf.eprintf "liger top: no run ledger found under %s/\n%s\n"
+            (Obs.runs_root ()) (Obs.no_ledger_hint ());
           exit 1
     in
     let frame () =
@@ -795,6 +803,85 @@ let top_cmd =
              occupancy with per-interval deltas")
     Term.(const run $ target $ interval $ once)
 
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let run target compare out history check =
+    let history =
+      match history with
+      | Some _ -> history
+      | None -> if Sys.file_exists "BENCH_history.jsonl" then Some "BENCH_history.jsonl" else None
+    in
+    let load arg =
+      match Obs.resolve_run_dir arg with
+      | Error msg ->
+          Printf.eprintf "liger report: %s\n" msg;
+          exit 1
+      | Ok dir -> (
+          match Obs.load_report_run ?bench_history:history dir with
+          | Error msg ->
+              Printf.eprintf "liger report: %s\n" msg;
+              exit 1
+          | Ok run -> run)
+    in
+    let main = load target in
+    let other = Option.map (fun r -> load (Some r)) compare in
+    let html = Obs.Report_html.render ?other main in
+    let out = match out with Some p -> p | None -> "report.html" in
+    let oc = open_out_bin out in
+    output_string oc html;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes, run %s%s)\n" out (String.length html)
+      main.Obs.Report_html.label
+      (match other with
+      | Some o -> " vs " ^ o.Obs.Report_html.label
+      | None -> "");
+    if check then begin
+      let findings = Obs.Health.evaluate main.Obs.Report_html.lines in
+      List.iter (fun f -> print_endline (Obs.Health.render_finding f)) findings;
+      if Obs.Health.healthy findings then print_endline "health: no failing rules"
+      else exit 2
+    end
+  in
+  let target =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"RUN"
+             ~doc:"Run directory or run id under $(i,runs/) to render; default: \
+                   the most recently updated run.")
+  in
+  let compare =
+    Arg.(value & opt (some string) None
+         & info [ "compare" ] ~docv:"RUN2"
+             ~doc:"Second run to diff against: series are overlaid and the \
+                   report gains a final-gauges delta table.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Output file (default $(i,report.html)).")
+  in
+  let history =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"FILE"
+             ~doc:"Benchmark history whose $(i,train.*) records feed the \
+                   throughput-history table (default: $(i,BENCH_history.jsonl) \
+                   in the current directory, when present).")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"After writing the report, evaluate the health rules over the \
+                   ledger and exit 2 if any FAIL-level finding fires (WARN \
+                   findings are printed but do not fail).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a run directory (ledger, training-dynamics streams, \
+             profile snapshot, probe table, benchmark history, postmortem) \
+             into one self-contained HTML dashboard with inline SVG \
+             sparklines; $(b,--compare) overlays a second run")
+    Term.(const run $ target $ compare $ out $ history $ check)
+
 let () =
   Obs.init_logging ();
   (* env-var-only configuration; subcommand flags override via [obs_term] *)
@@ -808,4 +895,5 @@ let () =
     (Cmd.eval ~catch:false
        (Cmd.group info
           [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
-            similar_cmd; probe_cmd; experiments_cmd; stats_cmd; top_cmd; fuzz_cmd ]))
+            similar_cmd; probe_cmd; experiments_cmd; stats_cmd; top_cmd; report_cmd;
+            fuzz_cmd ]))

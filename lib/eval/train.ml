@@ -10,6 +10,8 @@
 open Liger_tensor
 open Liger_core
 module Obs = Liger_obs.Obs
+module Dynamics = Liger_obs.Dynamics
+module Health = Liger_obs.Health
 
 type prediction = Subtokens of string list | Class of int
 
@@ -29,6 +31,9 @@ type model = {
   train_loss : Autodiff.tape -> Common.enc_example -> Autodiff.node;
   predict : Common.enc_example -> prediction;
   batched : batched option;
+  embed : (Common.enc_example -> float array) option;
+      (* program-embedding extractor; enables the dynamics drift probe
+         (models without a single-vector embedding leave it [None]) *)
 }
 
 type options = {
@@ -144,6 +149,34 @@ let fit_inner ~options rng model ~train ~valid =
   let best_epoch = ref 0 in
   let losses = ref [] and scores = ref [] and times = ref [] in
   let skipped = ref 0 in
+  (* dynamics drift probe: a frozen set of up to 16 examples (validation
+     preferred — the probe should not move just because it was trained on)
+     re-embedded after every epoch to measure embedding-space drift *)
+  let probe =
+    match model.embed with
+    | Some _ when Dynamics.on () ->
+        let src = if vacuous then train else valid in
+        Array.of_list (List.filteri (fun i _ -> i < 16) src)
+    | _ -> [||]
+  in
+  let observe_probe () =
+    match model.embed with
+    | Some embed when Dynamics.on () && Array.length probe >= 2 ->
+        Dynamics.observe_embeddings ~id:model.name (Array.map embed probe)
+    | _ -> ()
+  in
+  (* leave a breadcrumb per firing health rule so a postmortem shows when
+     training went bad, not just that it did *)
+  let record_health epoch =
+    if Dynamics.on () && Obs.Metrics.enabled () then
+      List.iter
+        (fun (f : Health.finding) ->
+          Liger_obs.Recorder.note
+            ~detail:
+              (Printf.sprintf "epoch %d %s: %s" epoch f.Health.subject f.Health.detail)
+            ("health." ^ f.Health.rule))
+        (Health.check_snapshot (Liger_obs.Metrics.snapshot ()))
+  in
   for epoch = 1 to options.epochs do
     Obs.Span.with_ ~name:"train.epoch"
       ~args:(fun () ->
@@ -248,6 +281,8 @@ let fit_inner ~options rng model ~train ~valid =
       Obs.Metrics.gauge "train.eta_seconds" ~labels
         (mean_epoch *. float_of_int (options.epochs - epoch))
     end;
+    observe_probe ();
+    record_health epoch;
     if epoch mod options.eval_every = 0 || epoch = options.epochs then begin
       let v = if vacuous then 0.0 else score ~batch:options.batch_size model valid in
       scores := v :: !scores;

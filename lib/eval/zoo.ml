@@ -61,6 +61,7 @@ let liger ?(config = Liger_model.default_config) ?(view = Common.full_view) ?see
                       (fun c -> Train.Class c)
                       (Liger_model.predict_class_batch model ~view exs));
           };
+      embed = Some (fun ex -> Liger_model.embed_program model ~view ex);
     }
   in
   (wrap, model)
@@ -86,6 +87,7 @@ let dypro ?(dim = 16) ?(view = Common.full_view) ?seed ~vocab task =
           Autodiff.discard tape;
           p);
       batched = None;
+      embed = Some (fun ex -> Dypro.embed_program model ~view ex);
     }
   in
   (wrap, model)
@@ -113,6 +115,7 @@ let code2vec ?(dim = 16) ?seed ~train task =
         Autodiff.discard tape;
         p);
     batched = None;
+    embed = None;
   }
 
 (** code2seq; builds its own vocabulary from [train]. *)
@@ -137,4 +140,5 @@ let code2seq ?(dim = 16) ?seed ~train task =
         Autodiff.discard tape;
         p);
     batched = None;
+    embed = None;
   }

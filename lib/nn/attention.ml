@@ -9,8 +9,10 @@
 
 open Liger_tensor
 module P = Liger_obs.Profile
+module D = Liger_obs.Dynamics
 
 let layer = P.register_layer "attention"
+let lname = "attention"
 
 type t = { proj : Linear.t; v : Param.t }
 
@@ -85,6 +87,25 @@ let project_batch t btape hs =
   if P.on () then P.with_layer layer (fun () -> project_batch_impl t btape hs)
   else project_batch_impl t btape hs
 
+(* One dynamics observation per lane: the entropy −Σ w·ln w of the
+   softmax weights over the lane's valid slots, in nats.  Uniform over k
+   slots gives ln k; a hard pointer gives 0. *)
+let record_weight_entropies w ~(mask : Tensor.t) =
+  let wv = Batched.value w in
+  let l = wv.Tensor.rows and k = wv.Tensor.cols in
+  for i = 0 to l - 1 do
+    let base = i * k in
+    let h = ref 0.0 and valid = ref 0 in
+    for j = 0 to k - 1 do
+      if Tensor.get_idx mask (base + j) > 0.5 then begin
+        incr valid;
+        let wj = Tensor.get_idx wv (base + j) in
+        if wj > 1e-12 then h := !h -. (wj *. log wj)
+      end
+    done;
+    if !valid > 0 then D.record_attention_entropy !h
+  done
+
 let weights_batch_impl t btape ?hproj ~q ~mask hs =
   let k = Array.length hs in
   let l = Batched.lanes q in
@@ -97,15 +118,22 @@ let weights_batch_impl t btape ?hproj ~q ~mask hs =
       (Batched.add_rows_cycle_bias_tanh btape hp qp t.proj.Linear.b)
       t.v ~lanes:l
   in
-  Batched.masked_softmax_rows btape scores ~mask
+  let w = Batched.masked_softmax_rows btape scores ~mask in
+  if D.on () && D.should_sample () then record_weight_entropies w ~mask;
+  w
+
+let weights_batch_guarded t btape ?hproj ~q ~mask hs =
+  if P.on () then P.with_layer layer (fun () -> weights_batch_impl t btape ?hproj ~q ~mask hs)
+  else weights_batch_impl t btape ?hproj ~q ~mask hs
 
 (** Masked softmax weights over candidate slots ([mask : lanes×K], 1.0 =
     valid).  A lane with one valid slot gets weight 1 with exactly zero
     gradient into its score (softmax Jacobian), so it behaves like the
     unbatched single-candidate bypass. *)
 let weights_batch t btape ?hproj ~q ~mask hs =
-  if P.on () then P.with_layer layer (fun () -> weights_batch_impl t btape ?hproj ~q ~mask hs)
-  else weights_batch_impl t btape ?hproj ~q ~mask hs
+  if D.on () then
+    D.with_layer lname (fun () -> weights_batch_guarded t btape ?hproj ~q ~mask hs)
+  else weights_batch_guarded t btape ?hproj ~q ~mask hs
 
 let fuse_batch_impl t btape ?hproj ~q ~mask hs =
   let w = weights_batch t btape ?hproj ~q ~mask hs in

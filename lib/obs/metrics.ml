@@ -191,10 +191,19 @@ let hist_view ?labels snap name =
 let entries_with (snap : snapshot) name = List.filter (fun e -> e.e_name = name) snap
 
 (** Estimated [q]-quantile (0..1) from a histogram by linear interpolation
-    inside the bucket holding the target rank; the overflow bucket reports
-    its lower bound (the largest finite boundary). *)
+    inside the bucket holding the target rank.
+
+    The interpolation rule, pinned for every consumer (ledger, [liger
+    top], the HTML report): the value is interpolated linearly between
+    the bucket's lower and upper bound at the target rank's offset into
+    the bucket; the first bucket's lower bound is 0, the overflow bucket
+    reports its lower bound (the largest finite boundary).  Degenerate
+    histograms are total rather than NaN — an {e empty} histogram (or one
+    with no buckets at all) reports 0.0 for every quantile, and a
+    single-bucket histogram interpolates between 0 and its only bound —
+    so a quantile can never leak NaN into the ledger or the report. *)
 let quantile (h : hist_view) q =
-  if h.count = 0 then Float.nan
+  if h.count = 0 || Array.length h.buckets = 0 then 0.0
   else begin
     let target = q *. float_of_int h.count in
     let nb = Array.length h.buckets in

@@ -22,6 +22,9 @@ module Bench_store = Bench_store
 module Recorder = Recorder
 module Timeseries = Timeseries
 module Openmetrics = Openmetrics
+module Dynamics = Dynamics
+module Health = Health
+module Report_html = Report_html
 
 (* ---------------- logging ---------------- *)
 
@@ -261,6 +264,10 @@ let falsy s =
     - [metrics_every] (or [LIGER_METRICS_EVERY], seconds) starts the
       {!Timeseries} run-ledger emitter appending to
       [runs/<run-id>/metrics.jsonl].
+    - [dynamics] (or [LIGER_DYNAMICS=1]) turns on the {!Dynamics}
+      training-dynamics streams (per-layer gradient flow, saturation,
+      attention entropy, embedding drift), which imply the metrics
+      registry.
     - The {!Recorder} flight ring turns on whenever any of the above is
       configured, or explicitly via [LIGER_FLIGHT=1]; [LIGER_FLIGHT=0]
       forces it off.  With the recorder on, crash handlers arrange a
@@ -268,9 +275,14 @@ let falsy s =
 
     With nothing configured this is a no-op and the whole telemetry layer
     stays disabled. *)
-let init ?metrics_out ?trace_out ?metrics_every ?(profile = false) () =
+let init ?metrics_out ?trace_out ?metrics_every ?(profile = false) ?(dynamics = false) () =
   let pick arg env = match arg with Some _ as p -> p | None -> Sys.getenv_opt env in
   let env_truthy env = match Sys.getenv_opt env with Some s -> truthy s | None -> false in
+  (if dynamics || env_truthy "LIGER_DYNAMICS" then begin
+     Dynamics.enable ();
+     Metrics.enable ();
+     if !metrics_path = None then metrics_path := Some (in_run_dir "metrics.json")
+   end);
   (match pick metrics_out "LIGER_METRICS_OUT" with
   | Some p ->
       metrics_path := Some p;
@@ -419,6 +431,14 @@ let report () =
            (Metrics.counter_value snap "train.skipped_steps")
            (Metrics.quantile h 0.5) (Metrics.quantile h 0.95))
   | _ -> ());
+  (* training-dynamics health verdicts (point-in-time rules) *)
+  (if Dynamics.on () then
+     match Health.check_snapshot snap with
+     | [] -> Buffer.add_string buf "health: all rules passed\n"
+     | findings ->
+         List.iter
+           (fun f -> Buffer.add_string buf (Health.render_finding f ^ "\n"))
+           findings);
   let hits = Metrics.counter_value snap "experiments.cache_hits" in
   let misses = Metrics.counter_value snap "experiments.cache_misses" in
   if hits + misses > 0 then
@@ -903,8 +923,9 @@ let latest_run_ledger () =
       |> function [] -> None | (_, ledger) :: _ -> Some ledger
 
 (** Render one frame of the [liger top] live view from the latest ledger
-    snapshot [cur], with per-interval deltas against [prev]. *)
-let render_top ?prev ~source cur : (string, string) result =
+    snapshot [cur], with per-interval deltas against [prev] and, when the
+    caller evaluated the ledger, the {!Health} verdicts at the bottom. *)
+let render_top ?prev ?health ~source cur : (string, string) result =
   match Openmetrics.snapshot_of_json cur with
   | Error _ as e -> e
   | Ok snap ->
@@ -1015,18 +1036,139 @@ let render_top ?prev ~source cur : (string, string) result =
       (match g "train.tape_nodes" with
       | Some n -> line "tape: %.0f nodes on the last batched tape" n
       | None -> ());
+      (* embedding drift (when the dynamics streams are recording) *)
+      List.iter
+        (fun (e : Metrics.entry) ->
+          let model = match e.Metrics.e_labels with (_, v) :: _ -> v | [] -> "?" in
+          let drift = match e.Metrics.e_value with Metrics.G x -> x | _ -> 0.0 in
+          line "drift[%s]: %.4f cosine/epoch%s" model drift
+            (match g ~labels:e.Metrics.e_labels "dynamics.nn_churn" with
+            | Some c -> Printf.sprintf ", nn-churn %.2f" c
+            | None -> ""))
+        (Metrics.entries_with snap "dynamics.embed_drift");
+      (* health verdicts over the whole ledger *)
+      (match health with
+      | None -> ()
+      | Some [] -> line "health: all rules passed"
+      | Some findings ->
+          List.iter (fun f -> line "%s" (Health.render_finding f)) findings);
       Ok (Buffer.contents buf)
+
+(** How to get a ledger when autodiscovery comes up empty — shared by
+    [liger top] and [liger report]. *)
+let no_ledger_hint () =
+  Printf.sprintf
+    "expected layout: %s/<run-id>/metrics.jsonl (one JSON snapshot per line)\n\
+     start an instrumented run with --metrics-every SECONDS (or \
+     LIGER_METRICS_EVERY=SECONDS), e.g.\n\
+    \  liger train -n 60 --epochs 8 --batch 16 --metrics-every 1 --dynamics"
+    (runs_root ())
+
+let empty_ledger_hint path =
+  Printf.sprintf
+    "%s exists but holds no snapshots yet: the emitter appends the first line one \
+     interval after startup and a final line when the run exits.  Use a smaller \
+     --metrics-every, or wait for the run to finish."
+    path
 
 (** One [liger top] frame for the ledger at [path]. *)
 let top_frame path : (string, string) result =
   match jsonl_lines path with
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
-  | Ok [] -> Error (Printf.sprintf "%s: empty run ledger" path)
+  | Error msg -> Error (Printf.sprintf "%s: %s\n%s" path msg (no_ledger_hint ()))
+  | Ok [] -> Error (Printf.sprintf "%s: empty run ledger\n%s" path (empty_ledger_hint path))
   | Ok lines ->
       let n = List.length lines in
       let cur = List.nth lines (n - 1) in
       let prev = if n >= 2 then Some (List.nth lines (n - 2)) else None in
-      render_top ?prev ~source:path cur
+      render_top ?prev ~health:(Health.evaluate lines) ~source:path cur
+
+(* ---------------- [liger report] ---------------- *)
+
+let read_file_opt path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Some s
+          | exception End_of_file -> None)
+
+(** Resolve a [liger report]/[liger top] run argument to a run directory:
+    an explicit path, a run id under {!runs_root}, or — when absent — the
+    directory of the most recently updated ledger. *)
+let resolve_run_dir arg : (string, string) result =
+  match arg with
+  | Some arg ->
+      if Sys.file_exists arg && Sys.is_directory arg then Ok arg
+      else
+        let candidate = Filename.concat (runs_root ()) arg in
+        if Sys.file_exists candidate && Sys.is_directory candidate then Ok candidate
+        else
+          Error
+            (Printf.sprintf "no run directory %s (nor %s)\n%s" arg candidate
+               (no_ledger_hint ()))
+  | None -> (
+      match latest_run_ledger () with
+      | Some ledger -> Ok (Filename.dirname ledger)
+      | None ->
+          Error
+            (Printf.sprintf "no run ledger found under %s/\n%s" (runs_root ())
+               (no_ledger_hint ())))
+
+(** Load everything [liger report] renders for one run directory: the
+    ledger, the final metrics snapshot, the probe table, a postmortem if
+    the run crashed, and — when [bench_history] names a
+    [BENCH_history.jsonl] — the training records from it (most recent
+    last, capped at 8). *)
+let load_report_run ?bench_history dir : (Report_html.run, string) result =
+  let ledger = Filename.concat dir "metrics.jsonl" in
+  let lines = match jsonl_lines ledger with Ok ls -> ls | Error _ -> [] in
+  let final =
+    match Json.parse_file (Filename.concat dir "metrics.json") with
+    | Ok j -> Some j
+    | Error _ -> None
+  in
+  if lines = [] && final = None then
+    Error
+      (if Sys.file_exists ledger then
+         Printf.sprintf "%s: empty run ledger\n%s" ledger (empty_ledger_hint ledger)
+       else
+         Printf.sprintf "%s has neither metrics.jsonl nor metrics.json\n%s" dir
+           (no_ledger_hint ()))
+  else
+    let postmortem =
+      match Json.parse_file (Filename.concat dir "postmortem.json") with
+      | Ok j when is_postmortem j -> Some j
+      | _ -> None
+    in
+    let bench =
+      match bench_history with
+      | None -> []
+      | Some path -> (
+          match Bench_store.load path with
+          | Error _ -> []
+          | Ok records ->
+              let train =
+                List.filter
+                  (fun (r : Bench_store.record) ->
+                    String.length r.Bench_store.benchmark >= 6
+                    && String.sub r.Bench_store.benchmark 0 6 = "train.")
+                  records
+              in
+              let n = List.length train in
+              List.filteri (fun i _ -> i >= n - 8) train)
+    in
+    Ok
+      {
+        Report_html.label = Filename.basename dir;
+        lines;
+        final;
+        probe = read_file_opt (Filename.concat dir "probe_accuracy.txt");
+        postmortem;
+        bench;
+      }
 
 (** [diff_history path] compares the last two records of one JSONL
     history. *)

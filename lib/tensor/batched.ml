@@ -32,6 +32,7 @@
     and [2mnk] per backward GEMM (4mnk for the usual dX+dW pair). *)
 
 module P = Liger_obs.Profile
+module D = Liger_obs.Dynamics
 module BA = Bigarray.Array1
 
 type node = {
@@ -292,6 +293,34 @@ let add_bias tape a (p : Param.t) =
   done;
   n
 
+(* Saturation sampling for the dynamics streams: scan one activation
+   buffer (lanes-major), counting saturated elements and output units dead
+   across every lane, and publish under the ambient nn layer.  Callers
+   gate on [D.on () && D.should_sample ()], so the uninstrumented forward
+   path pays one branch per activation node and the instrumented one scans
+   every [Dynamics.sample_every]-th call. *)
+let sample_activation ~act_name ~is_tanh v l cols =
+  let sat = ref 0 and dead = ref 0 in
+  for j = 0 to cols - 1 do
+    let mag = ref 0.0 in
+    for i = 0 to l - 1 do
+      let y = BA.unsafe_get v ((i * cols) + j) in
+      if is_tanh then begin
+        let a = Float.abs y in
+        if a > 0.99 then incr sat;
+        if a > !mag then mag := a
+      end
+      else begin
+        (* sigmoid saturates at either rail; "dead" means pinned at 0 *)
+        if y > 0.99 || y < 0.01 then incr sat;
+        if y > !mag then mag := y
+      end
+    done;
+    if !mag < (if is_tanh then 1e-3 else 0.01) then incr dead
+  done;
+  D.record_saturation ~act:act_name ~saturated:!sat ~total:(l * cols) ~dead:!dead
+    ~units:cols
+
 type affine_act = A_id | A_tanh | A_sigmoid
 
 (* Fused [act(X·W^T + 1·b^T)] in a single node: the output rows start as
@@ -370,6 +399,14 @@ let affine_act tape ~w ~b x act =
       for i = 0 to n_elts - 1 do
         BA.unsafe_set v i (1.0 /. (1.0 +. exp (-.BA.unsafe_get v i)))
       done);
+  (match act with
+  | A_id -> ()
+  | A_tanh ->
+      if D.on () && D.should_sample () then
+        sample_activation ~act_name:"tanh" ~is_tanh:true v l out
+  | A_sigmoid ->
+      if D.on () && D.should_sample () then
+        sample_activation ~act_name:"sigmoid" ~is_tanh:false v l out);
   n
 
 (** [affine tape ~w ~b x] is [X·W^T + 1·b^T] (one fused node). *)
@@ -504,6 +541,8 @@ let add_rows_cycle_bias_tanh tape a b (bias : Param.t) =
           +. BA.unsafe_get pv j))
     done
   done;
+  if D.on () && D.should_sample () then
+    sample_activation ~act_name:"tanh" ~is_tanh:true v rows_a d;
   n
 
 (** Fused [a · v^T] + slot-major reshape: for [a : (K·l)×d] and a vector
@@ -796,10 +835,20 @@ let unary_from_out tape f df_out a =
   done;
   n
 
-let tanh_ tape a = unary_from_out tape Stdlib.tanh (fun y -> 1.0 -. (y *. y)) a
+let tanh_ tape a =
+  let n = unary_from_out tape Stdlib.tanh (fun y -> 1.0 -. (y *. y)) a in
+  if D.on () && D.should_sample () then
+    sample_activation ~act_name:"tanh" ~is_tanh:true n.value.Tensor.data (lanes n) (dim n);
+  n
 
 let sigmoid tape a =
-  unary_from_out tape (fun x -> 1.0 /. (1.0 +. exp (-.x))) (fun y -> y *. (1.0 -. y)) a
+  let n =
+    unary_from_out tape (fun x -> 1.0 /. (1.0 +. exp (-.x))) (fun y -> y *. (1.0 -. y)) a
+  in
+  if D.on () && D.should_sample () then
+    sample_activation ~act_name:"sigmoid" ~is_tanh:false n.value.Tensor.data (lanes n)
+      (dim n);
+  n
 
 let relu tape a =
   unary_from_out tape

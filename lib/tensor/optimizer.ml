@@ -6,7 +6,42 @@
     smaller.  Plain SGD is included for tests and ablations. *)
 
 module P = Liger_obs.Profile
+module D = Liger_obs.Dynamics
 module BA = Bigarray.Array1
+
+(* ---------- per-layer gradient-flow accumulation (dynamics) ----------
+
+   When the dynamics streams are on, [clip_grads] publishes each
+   parameter group's pre-clip gradient norm and [step] the exact
+   update-to-weight ratio it applied.  Groups come from
+   {!Dynamics.group_of_param} (the param name minus its final suffix).
+   Everything below is reached only behind [D.on ()], so the disabled
+   path keeps its original loops untouched. *)
+
+let acc_group tbl group du dw =
+  match Hashtbl.find_opt tbl group with
+  | Some (u, w) ->
+      u := !u +. du;
+      w := !w +. dw
+  | None -> Hashtbl.add tbl group (ref du, ref dw)
+
+let record_layer_grads store =
+  let tbl : (string, float ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+  Param.iter store (fun p ->
+      let g = p.Param.grad.Tensor.data in
+      let acc = ref 0.0 in
+      for i = 0 to Param.size p - 1 do
+        let gi = BA.unsafe_get g i in
+        acc := !acc +. (gi *. gi)
+      done;
+      acc_group tbl (D.group_of_param p.Param.name) !acc 0.0);
+  Hashtbl.iter (fun layer (u, _) -> D.record_layer_grad ~layer (sqrt !u)) tbl
+
+let record_layer_updates tbl =
+  Hashtbl.iter
+    (fun layer (u, w) ->
+      D.record_layer_update ~layer ~update_norm:(sqrt !u) ~weight_norm:(sqrt !w))
+    tbl
 
 (* coarse profiled ops: one clock read per optimizer step / clip, negligible
    next to the parameter sweep being timed *)
@@ -43,6 +78,7 @@ let adam ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8)
     the result (as {!Liger_eval.Train.fit} does, counting the skip). *)
 let clip_grads store ~max_norm =
   let t0 = if P.on () then P.now () else 0.0 in
+  if D.on () then record_layer_grads store;
   let norm = Param.grad_norm store in
   let norm =
     if not (Float.is_finite norm) then begin
@@ -75,15 +111,31 @@ let adam_state state (p : Param.t) =
     momentum 4, Adam 15). *)
 let step t store =
   let t0 = if P.on () then P.now () else 0.0 in
+  (* With dynamics on, each branch runs an accumulating twin of its update
+     loop (update² and post-update weight² per group); with it off the
+     original loops run untouched — one branch per parameter. *)
+  let dtbl = if D.on () then Some (Hashtbl.create 16) else None in
   (match t with
   | Sgd { lr; momentum; state } ->
       Param.iter store (fun p ->
           let v = p.Param.value.Tensor.data and g = p.Param.grad.Tensor.data in
           let n = Param.size p in
           if momentum = 0.0 then
-            for i = 0 to n - 1 do
-              BA.unsafe_set v i (BA.unsafe_get v i -. (lr *. BA.unsafe_get g i))
-            done
+            match dtbl with
+            | None ->
+                for i = 0 to n - 1 do
+                  BA.unsafe_set v i (BA.unsafe_get v i -. (lr *. BA.unsafe_get g i))
+                done
+            | Some tbl ->
+                let du = ref 0.0 and dw = ref 0.0 in
+                for i = 0 to n - 1 do
+                  let d = lr *. BA.unsafe_get g i in
+                  let v' = BA.unsafe_get v i -. d in
+                  BA.unsafe_set v i v';
+                  du := !du +. (d *. d);
+                  dw := !dw +. (v' *. v')
+                done;
+                acc_group tbl (D.group_of_param p.Param.name) !du !dw
           else begin
             let vel =
               match Hashtbl.find_opt state p.Param.name with
@@ -93,10 +145,23 @@ let step t store =
                   Hashtbl.add state p.Param.name vel;
                   vel
             in
-            for i = 0 to n - 1 do
-              vel.(i) <- (momentum *. vel.(i)) +. BA.unsafe_get g i;
-              BA.unsafe_set v i (BA.unsafe_get v i -. (lr *. vel.(i)))
-            done
+            match dtbl with
+            | None ->
+                for i = 0 to n - 1 do
+                  vel.(i) <- (momentum *. vel.(i)) +. BA.unsafe_get g i;
+                  BA.unsafe_set v i (BA.unsafe_get v i -. (lr *. vel.(i)))
+                done
+            | Some tbl ->
+                let du = ref 0.0 and dw = ref 0.0 in
+                for i = 0 to n - 1 do
+                  vel.(i) <- (momentum *. vel.(i)) +. BA.unsafe_get g i;
+                  let d = lr *. vel.(i) in
+                  let v' = BA.unsafe_get v i -. d in
+                  BA.unsafe_set v i v';
+                  du := !du +. (d *. d);
+                  dw := !dw +. (v' *. v')
+                done;
+                acc_group tbl (D.group_of_param p.Param.name) !du !dw
           end)
   | Adam a ->
       a.step <- a.step + 1;
@@ -105,15 +170,33 @@ let step t store =
       Param.iter store (fun p ->
           let m, v2 = adam_state a.state p in
           let v = p.Param.value.Tensor.data and g = p.Param.grad.Tensor.data in
-          for i = 0 to Param.size p - 1 do
-            let gi = BA.unsafe_get g i in
-            m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
-            v2.(i) <- (a.beta2 *. v2.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
-            let mhat = m.(i) /. bc1 and vhat = v2.(i) /. bc2 in
-            let vi = BA.unsafe_get v i in
-            BA.unsafe_set v i
-              (vi -. (a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. vi))))
-          done));
+          match dtbl with
+          | None ->
+              for i = 0 to Param.size p - 1 do
+                let gi = BA.unsafe_get g i in
+                m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
+                v2.(i) <- (a.beta2 *. v2.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
+                let mhat = m.(i) /. bc1 and vhat = v2.(i) /. bc2 in
+                let vi = BA.unsafe_get v i in
+                BA.unsafe_set v i
+                  (vi -. (a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. vi))))
+              done
+          | Some tbl ->
+              let du = ref 0.0 and dw = ref 0.0 in
+              for i = 0 to Param.size p - 1 do
+                let gi = BA.unsafe_get g i in
+                m.(i) <- (a.beta1 *. m.(i)) +. ((1.0 -. a.beta1) *. gi);
+                v2.(i) <- (a.beta2 *. v2.(i)) +. ((1.0 -. a.beta2) *. gi *. gi);
+                let mhat = m.(i) /. bc1 and vhat = v2.(i) /. bc2 in
+                let vi = BA.unsafe_get v i in
+                let d = a.lr *. ((mhat /. (sqrt vhat +. a.eps)) +. (a.weight_decay *. vi)) in
+                let v' = vi -. d in
+                BA.unsafe_set v i v';
+                du := !du +. (d *. d);
+                dw := !dw +. (v' *. v')
+              done;
+              acc_group tbl (D.group_of_param p.Param.name) !du !dw));
+  Option.iter record_layer_updates dtbl;
   Param.zero_grads store;
   if P.on () then begin
     let o, flops_per_elt =

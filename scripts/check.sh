@@ -95,6 +95,26 @@ grep -q "gc.minor_collections" runs/ci-ledger/metrics.jsonl || {
 dune exec --no-build bin/liger_cli.exe -- top runs/ci-ledger --once > /dev/null
 echo "   ok: ledger validates, renders as OpenMetrics, and liger top reads it"
 
+echo "== dynamics + report: instrumented train, HTML dashboard, compare, health gate"
+rm -rf runs/ci-dynamics
+LIGER_RUN_ID=ci-dynamics dune exec --no-build bin/liger_cli.exe -- \
+  train -n 16 --epochs 3 --batch 16 --metrics-every 1 --dynamics > /dev/null 2>&1
+test -f runs/ci-dynamics/metrics.jsonl
+grep -q "dynamics.layer_grad_norm" runs/ci-dynamics/metrics.jsonl || {
+  echo "   ERROR: no per-layer gradient stream in the ci-dynamics ledger" >&2; exit 1; }
+# single-run report + the health gate (--check exits 2 on any FAIL rule)
+dune exec --no-build bin/liger_cli.exe -- report runs/ci-dynamics \
+  --history BENCH_history.jsonl --out report.html --check > /dev/null
+test -f report.html
+grep -q '<section id="gradflow"' report.html
+grep -q '<section id="drift"' report.html
+grep -q '<svg class="spark"' report.html
+# compare mode against the earlier ci-ledger smoke (same run shape)
+dune exec --no-build bin/liger_cli.exe -- report runs/ci-dynamics \
+  --compare runs/ci-ledger --out report_compare.html > /dev/null
+grep -q '<section id="compare"' report_compare.html
+echo "   ok: report.html + report_compare.html rendered, health rules pass"
+
 echo "== crash injection: a failpoint mid-train must leave a postmortem dump"
 rm -rf runs/ci-crash
 if LIGER_RUN_ID=ci-crash LIGER_METRICS_EVERY=1 LIGER_FAILPOINT=train.epoch:2 \

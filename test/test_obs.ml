@@ -337,6 +337,7 @@ let tiny_model () =
       (fun tape _ex -> Autodiff.matvec tape w (Autodiff.const tape [| 1.0; 1.0 |]));
     predict = (fun _ -> Liger_eval.Train.Class 0);
     batched = None;
+    embed = None;
   }
 
 let tiny_example () =

@@ -232,6 +232,7 @@ let constant_score_model () =
       (fun tape _ex -> Autodiff.matvec tape w (Autodiff.const tape [| 1.0; 1.0 |]));
     predict = (fun _ -> Train.Class 0);
     batched = None;
+    embed = None;
   }
 
 let test_plateau_restores_trained_params () =
@@ -271,6 +272,7 @@ let test_nan_grad_skips_step () =
           Autodiff.const tape [| 1.0 |]);
       predict = (fun _ -> Train.Class 0);
       batched = None;
+      embed = None;
     }
   in
   let c = build_corpus ~jobs:1 ~seed:66 in

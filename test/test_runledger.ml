@@ -188,6 +188,7 @@ let tiny_model () =
       (fun tape _ex -> Autodiff.matvec tape w (Autodiff.const tape [| 1.0; 1.0 |]));
     predict = (fun _ -> Liger_eval.Train.Class 0);
     batched = None;
+    embed = None;
   }
 
 (* same 1×2 parameter, but with mini-batch hooks so [fit] exercises the
@@ -213,6 +214,7 @@ let tiny_batched_model () =
           Liger_eval.Train.train_loss_batch = loss_batch;
           predict_batch = (fun chunk -> Array.map (fun _ -> Liger_eval.Train.Class 0) chunk);
         };
+    embed = None;
   }
 
 let gauge_of snap name labels =
@@ -376,6 +378,7 @@ let test_nonfinite_loss_abort () =
           Autodiff.matvec tape w (Autodiff.const tape [| Float.nan; Float.nan |]));
       predict = (fun _ -> Liger_eval.Train.Class 0);
       batched = None;
+      embed = None;
     }
   in
   let options = { Train.default_options with Train.epochs = 2 } in
