@@ -387,13 +387,6 @@ let run_parallel_bench ~jobs =
       ];
   }
 
-(* --check-regression: compare the fresh record against the most recent
-   history record with the same benchmark and job count.  Two gates:
-   speedup below 1 with jobs > 1 (parallelism actively hurting — on a
-   single-core host the bench runs with jobs=1 and this gate is moot), and
-   parallel throughput dropping by more than LIGER_REGRESSION_THRESHOLD
-   (default 0.3, i.e. 30%) versus the previous run. *)
-
 let regression_threshold () =
   match Sys.getenv_opt "LIGER_REGRESSION_THRESHOLD" with
   | None -> 0.3
@@ -403,6 +396,185 @@ let regression_threshold () =
       | _ ->
           invalid_arg
             (Printf.sprintf "LIGER_REGRESSION_THRESHOLD must be a positive float, got %S" s))
+
+(* ------------------------------------------------------------------ *)
+(* Serve loopback benchmark (serve --qps N --duration S)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop paced load against a real [liger serve] stack — sockets,
+   parser, gate, coalescer, cache, batched forward — over the loopback
+   interface.  A warm-up pass fills the embedding cache first: the steady
+   state being measured is the serving design's steady state (AST-hash
+   cache hits + coalesced misses), not repeated cold trace generation. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+let run_serve_bench ~qps ~duration =
+  let module Serve = Liger_serve in
+  if Obs.Recorder.enabled () then
+    Obs.Recorder.note ~detail:(Printf.sprintf "qps %.0f duration %.0fs" qps duration)
+      "bench.serve";
+  say "\nServe loopback benchmark: target %.0f QPS for %.0fs\n" qps duration;
+  say "%s\n%!" (String.make 72 '-');
+  (* seed-scale model over the same fixture corpus the microbenches use *)
+  let enc =
+    { Common.default_enc_config with Common.max_paths = 4; max_concrete = 3; max_steps = 16 }
+  in
+  let corpus =
+    Liger_dataset.Pipeline.build_naming ~enc_config:enc (Rng.create 777)
+      ~name:"servebench" ~n:40
+  in
+  let vocab = corpus.Liger_dataset.Pipeline.vocab in
+  let _, model = Zoo.liger ~vocab Liger_model.Naming in
+  Liger_obs.Metrics.enable ();
+  Liger_obs.Metrics.reset_prefix "serve.";
+  let engine = Serve.Engine.create ~model ~vocab () in
+  let server =
+    Serve.Server.start
+      ~config:{ Serve.Server.default_config with Serve.Server.max_inflight = 64 }
+      ~handler:(Serve.Engine.handle engine) ()
+  in
+  let port = Serve.Server.port server in
+  let bodies =
+    corpus.Liger_dataset.Pipeline.train
+    |> List.filteri (fun i _ -> i < 8)
+    |> List.map (fun (ex : Common.enc_example) ->
+           Liger_lang.Pretty.meth_to_string ex.Common.meth)
+    |> Array.of_list
+  in
+  if Array.length bodies = 0 then failwith "serve bench: empty fixture corpus";
+  let post body =
+    Serve.Client.request ~meth:"POST" ~body ~port "/embed"
+  in
+  Array.iter (fun b -> ignore (post b)) bodies (* warm-up: fill the cache *);
+  let workers = 4 in
+  (* pace 2% above the target: a loop paced at exactly [qps] completes
+     qps*duration requests in slightly MORE than [duration] (the last
+     tick lands on the boundary), so sustained throughput would sit just
+     under the target and a ">= target" floor could never pass *)
+  let interval = float_of_int workers /. (qps *. 1.02) in
+  let completed = Atomic.make 0 and errors = Atomic.make 0 in
+  let lat_lock = Mutex.create () in
+  let lats = ref [] in
+  let t_start = Unix.gettimeofday () in
+  let t_end = t_start +. duration in
+  let worker w =
+    (* stagger worker phases so the aggregate arrival process is even *)
+    let next = ref (t_start +. (interval *. float_of_int w /. float_of_int workers)) in
+    let i = ref w in
+    while Unix.gettimeofday () < t_end do
+      let now = Unix.gettimeofday () in
+      if now < !next then Unix.sleepf (min (!next -. now) (t_end -. now));
+      if Unix.gettimeofday () < t_end then begin
+        let body = bodies.(!i mod Array.length bodies) in
+        i := !i + workers;
+        let t0 = Unix.gettimeofday () in
+        (match post body with
+        | resp ->
+            let dt = Unix.gettimeofday () -. t0 in
+            if resp.Serve.Client.status = 200 then begin
+              Atomic.incr completed;
+              Mutex.lock lat_lock;
+              lats := dt :: !lats;
+              Mutex.unlock lat_lock
+            end
+            else Atomic.incr errors
+        | exception _ -> Atomic.incr errors);
+        next := !next +. interval
+      end
+    done
+  in
+  let threads = List.init workers (fun w -> Thread.create worker w) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t_start in
+  Serve.Server.stop server;
+  Serve.Engine.stop engine;
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  let completed = Atomic.get completed and errors = Atomic.get errors in
+  let sustained = float_of_int completed /. wall in
+  let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+  let snap = Liger_obs.Metrics.snapshot () in
+  let cache_hits =
+    Option.value ~default:0.0 (Liger_obs.Metrics.gauge_value snap "serve.cache_hits")
+  in
+  say "  target                       %12.1f qps\n" qps;
+  say "  completed                    %12d ok, %d errors in %.2f s\n" completed errors wall;
+  say "  sustained                    %12.1f qps\n" sustained;
+  say "  latency p50                  %12.2f ms\n" (1000.0 *. p50);
+  say "  latency p99                  %12.2f ms\n" (1000.0 *. p99);
+  say "  cache hits                   %12.0f\n" cache_hits;
+  say "%s\n%!" (String.make 72 '-');
+  {
+    B.benchmark = "serve.loopback";
+    rev = B.git_rev ();
+    date = B.iso8601 (Unix.gettimeofday ());
+    jobs = Liger_parallel.Parallel.jobs ();
+    metrics =
+      [
+        ("qps_target", qps);
+        ("duration_s", wall);
+        ("completed", float_of_int completed);
+        ("errors", float_of_int errors);
+        ("sustained_qps", sustained);
+        ("p50_s", p50);
+        ("p99_s", p99);
+        ("cache_hits", cache_hits);
+      ];
+  }
+
+(* Serve gates: the acceptance floor is absolute (sustain the target with a
+   sane tail), the history gate is relative (no silent throughput slide). *)
+let serve_regression_failures ~history (r : B.record) =
+  let failures = ref [] in
+  let metric name = List.assoc_opt name r.B.metrics in
+  (match (metric "qps_target", metric "sustained_qps") with
+  | Some target, Some sustained when target >= 50.0 && sustained < 50.0 ->
+      failures :=
+        Printf.sprintf "sustained %.1f qps < 50 qps floor (target %.0f)" sustained target
+        :: !failures
+  | _ -> ());
+  (match metric "p99_s" with
+  | Some p99 when p99 >= 0.25 ->
+      failures := Printf.sprintf "p99 latency %.1f ms >= 250 ms" (1000.0 *. p99) :: !failures
+  | _ -> ());
+  (match history with
+  | Some path when Sys.file_exists path -> (
+      match B.load path with
+      | Error msg ->
+          Printf.eprintf "warning: cannot read %s for regression check: %s\n" path msg
+      | Ok records -> (
+          match B.last_matching ~jobs:r.B.jobs ~benchmark:r.B.benchmark records with
+          | None -> ()
+          | Some prev -> (
+              match
+                ( List.assoc_opt "sustained_qps" prev.B.metrics,
+                  List.assoc_opt "sustained_qps" r.B.metrics )
+              with
+              | Some before, Some after when before > 0.0 ->
+                  let drop = (before -. after) /. before in
+                  let threshold = regression_threshold () in
+                  if drop > threshold then
+                    failures :=
+                      Printf.sprintf
+                        "sustained_qps dropped %.0f%% vs %s@%s (%.2f -> %.2f, \
+                         threshold %.0f%%)"
+                        (100.0 *. drop) prev.B.date prev.B.rev before after
+                        (100.0 *. threshold)
+                      :: !failures
+              | _ -> ())))
+  | _ -> ());
+  List.rev !failures
+
+(* --check-regression: compare the fresh record against the most recent
+   history record with the same benchmark and job count.  Two gates:
+   speedup below 1 with jobs > 1 (parallelism actively hurting — on a
+   single-core host the bench runs with jobs=1 and this gate is moot), and
+   parallel throughput dropping by more than LIGER_REGRESSION_THRESHOLD
+   (default 0.3, i.e. 30%) versus the previous run. *)
 
 let regression_failures ~history (r : B.record) =
   let failures = ref [] in
@@ -537,6 +709,14 @@ let usage () =
   prerr_endline
     "usage: bench/main.exe [--no-micro | --micro-only] [--jobs N] [--trace FILE] \
      [--metrics-out FILE] [--profile] [--history FILE] [--check-regression]";
+  prerr_endline
+    "       bench/main.exe serve [--qps N] [--duration S] [--history FILE] \
+     [--check-regression]";
+  prerr_endline "  serve             loopback load benchmark against a real liger serve stack:";
+  prerr_endline "                    paced POST /embed at --qps (default 50) for --duration";
+  prerr_endline "                    seconds (default 10); records serve.loopback (sustained";
+  prerr_endline "                    qps, p50/p99) and, under --check-regression, gates on the";
+  prerr_endline "                    50 qps / 250 ms p99 floors and the history threshold";
   prerr_endline "  --no-micro        run the experiments without the Bechamel microbenches";
   prerr_endline "  --micro-only      run only the Bechamel microbenches";
   prerr_endline "  --jobs N          run the parallel corpus-generation benchmark on N domains";
@@ -565,11 +745,15 @@ type opts = {
   history : string option;
   check_regression : bool;
   check_train_regression : bool;
+  serve_mode : bool;
+  qps : float;
+  duration : float;
 }
 
 let () =
   let rec parse o = function
     | [] -> o
+    | "serve" :: rest -> parse { o with serve_mode = true } rest
     | "--no-micro" :: rest -> parse { o with no_micro = true } rest
     | "--micro-only" :: rest -> parse { o with micro_only = true } rest
     | "--jobs" :: n :: rest -> (
@@ -578,6 +762,18 @@ let () =
         | _ ->
             Printf.eprintf "error: --jobs expects a positive integer, got %S\n" n;
             usage ())
+    | "--qps" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some q when q > 0.0 -> parse { o with qps = q } rest
+        | _ ->
+            Printf.eprintf "error: --qps expects a positive number, got %S\n" n;
+            usage ())
+    | "--duration" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some d when d > 0.0 -> parse { o with duration = d } rest
+        | _ ->
+            Printf.eprintf "error: --duration expects a positive number, got %S\n" n;
+            usage ())
     | "--trace" :: path :: rest -> parse { o with trace_out = Some path } rest
     | "--metrics-out" :: path :: rest -> parse { o with metrics_out = Some path } rest
     | "--profile" :: rest -> parse { o with profile = true } rest
@@ -585,7 +781,8 @@ let () =
     | "--check-regression" :: rest -> parse { o with check_regression = true } rest
     | "--check-train-regression" :: rest ->
         parse { o with check_train_regression = true } rest
-    | [ (("--jobs" | "--trace" | "--metrics-out" | "--history") as flag) ] ->
+    | [ (("--jobs" | "--qps" | "--duration" | "--trace" | "--metrics-out" | "--history")
+        as flag) ] ->
         Printf.eprintf "error: %s expects an argument\n" flag;
         usage ()
     | arg :: _ ->
@@ -596,7 +793,7 @@ let () =
     parse
       { no_micro = false; micro_only = false; jobs = None; trace_out = None;
         metrics_out = None; profile = false; history = None; check_regression = false;
-        check_train_regression = false }
+        check_train_regression = false; serve_mode = false; qps = 50.0; duration = 10.0 }
       (List.tl (Array.to_list Sys.argv))
   in
   if o.no_micro && o.micro_only then begin
@@ -606,6 +803,25 @@ let () =
   Obs.init_logging ();
   Obs.init ?metrics_out:o.metrics_out ?trace_out:o.trace_out ~profile:o.profile ();
   (match o.jobs with Some n -> Liger_parallel.Parallel.set_jobs n | None -> ());
+  if o.serve_mode then begin
+    let record = run_serve_bench ~qps:o.qps ~duration:o.duration in
+    let failures =
+      if o.check_regression then serve_regression_failures ~history:o.history record
+      else []
+    in
+    (match o.history with
+    | Some path ->
+        B.append ~path record;
+        say "benchmark record appended to %s\n%!" path
+    | None -> ());
+    Obs.print_report ();
+    if failures <> [] then begin
+      prerr_endline "REGRESSION CHECK FAILED:";
+      List.iter (fun f -> Printf.eprintf "  - %s\n" f) failures;
+      exit 1
+    end;
+    exit 0
+  end;
   if o.check_regression && o.jobs = None then begin
     (* without --jobs no parallel record is produced, so the "check" would
        vacuously pass — refuse rather than pretend the gate ran *)

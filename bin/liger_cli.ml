@@ -18,6 +18,12 @@
                        --openmetrics renders Prometheus text exposition
      top     [RUN]   - live view of a training run's ledger (throughput, loss,
                        grad norms, pool, GC, bufpool; see --metrics-every)
+     serve           - long-running embedding server: POST /embed /search
+                       /suggest, GET /healthz /metrics, with request
+                       coalescing, an AST-hash LRU cache and backpressure
+     index           - build/refresh a content-addressed embedding index for
+                       /search (unchanged methods reuse their stored vectors)
+     fetch   URL     - tiny loopback HTTP client for scripting against serve
 *)
 
 open Cmdliner
@@ -882,6 +888,249 @@ let report_cmd =
              sparklines; $(b,--compare) overlays a second run")
     Term.(const run $ target $ compare $ out $ history $ check)
 
+(* ---------------- serve / index / fetch ---------------- *)
+
+module Serve = Liger_serve
+
+let serve_cmd =
+  let run () model_dir index_dir port port_file max_inflight batch_window_ms
+      cache_capacity deadline_ms =
+    let model, vocab = load_model model_dir in
+    let index =
+      Option.map
+        (fun dir ->
+          match Serve.Index.load ~dir with
+          | Ok idx ->
+              Printf.printf "loaded index: %d entries, dim %d\n%!"
+                (Serve.Index.size idx) (Serve.Index.dim idx);
+              idx
+          | Error msg -> failwith (Printf.sprintf "--index %s: %s" dir msg))
+        index_dir
+    in
+    let engine =
+      Serve.Engine.create
+        ~config:
+          {
+            Serve.Engine.default_config with
+            Serve.Engine.batch_window_s = batch_window_ms /. 1000.0;
+            cache_capacity;
+          }
+        ?index ~model ~vocab ()
+    in
+    let server =
+      Serve.Server.start
+        ~config:
+          {
+            Serve.Server.default_config with
+            Serve.Server.port;
+            max_inflight;
+            default_deadline_s = deadline_ms /. 1000.0;
+          }
+        ~handler:(Serve.Engine.handle engine) ()
+    in
+    let bound = Serve.Server.port server in
+    (match port_file with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc "%d\n" bound;
+        close_out oc);
+    Printf.printf
+      "liger serve: listening on 127.0.0.1:%d (max-inflight %d, batch window %g ms)\n"
+      bound max_inflight batch_window_ms;
+    Printf.printf "endpoints: POST /embed /search /suggest; GET /healthz /metrics\n%!";
+    let stopping = Atomic.make false in
+    let request_stop _ = Atomic.set stopping true in
+    (* override the flight recorder's postmortem handler installed by
+       Obs.init: for a server, TERM/INT are a clean shutdown, not a crash *)
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    while not (Atomic.get stopping) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Printf.printf "liger serve: shutting down\n%!";
+    Serve.Server.stop server;
+    Serve.Engine.stop engine
+    (* normal return → at_exit → Obs.flush → the run ledger's final tick *)
+  in
+  let model_dir =
+    Arg.(required & opt (some dir) None
+         & info [ "model" ] ~docv:"DIR" ~doc:"Saved model directory (see train --save).")
+  in
+  let index_dir =
+    Arg.(value & opt (some dir) None
+         & info [ "index" ] ~docv:"DIR"
+             ~doc:"Embedding index directory for /search (see $(b,liger index)); \
+                   without it /search answers 503.")
+  in
+  let port =
+    Arg.(value & opt int 8080
+         & info [ "port" ] ~docv:"N"
+             ~doc:"TCP port on 127.0.0.1; 0 asks the kernel for a free one \
+                   (see --port-file).")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound port number to $(docv) once listening \
+                   (for scripts using --port 0).")
+  in
+  let max_inflight =
+    Arg.(value & opt int 8
+         & info [ "max-inflight" ] ~docv:"K"
+             ~doc:"Admission cap: over $(docv) concurrently handled requests, \
+                   answer 429 with Retry-After instead of queueing.")
+  in
+  let batch_window_ms =
+    Arg.(value & opt float 2.0
+         & info [ "batch-window-ms" ] ~docv:"W"
+             ~doc:"Coalescing window: concurrent embed/suggest requests arriving \
+                   within $(docv) ms share one batched forward.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 512
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"AST-hash-keyed LRU embedding cache entries.")
+  in
+  let deadline_ms =
+    Arg.(value & opt float 30000.0
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline (clients override per request \
+                   with the X-Deadline-Ms header); expired requests answer 408.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve embeddings over HTTP: batched /embed, index-backed /search, \
+             /suggest, /healthz and OpenMetrics /metrics, with request \
+             coalescing, an AST-hash LRU cache, bounded-inflight backpressure \
+             and per-request deadlines")
+    Term.(const run $ obs_term $ model_dir $ index_dir $ port $ port_file
+          $ max_inflight $ batch_window_ms $ cache_capacity $ deadline_ms)
+
+let index_cmd =
+  let run () model_dir out files generate seed =
+    let model, vocab = load_model model_dir in
+    let dim = model.Liger_model.config.Liger_model.dim in
+    let from_files =
+      List.concat_map (fun path -> Parser.methods_of_string (read_file path)) files
+    in
+    let generated =
+      if generate = 0 then []
+      else
+        Javagen.generate (Rng.create seed) ~n:generate
+        |> List.map (fun (it : Javagen.item) -> it.Javagen.candidate.Filter.meth)
+    in
+    let items =
+      List.filter_map
+        (fun (m : Ast.meth) ->
+          match Typecheck.check m with
+          | Error e ->
+              Printf.eprintf "skipping %s: type error at line %d: %s\n" m.Ast.mname
+                e.Typecheck.line e.Typecheck.msg;
+              None
+          | Ok () -> (
+              let hash = Serve.Ast_hash.of_meth m in
+              match Serve.Engine.encode_method ~vocab m hash with
+              | Ok ex -> Some (m.Ast.mname, hash, ex)
+              | Error (_, msg) ->
+                  Printf.eprintf "skipping %s: %s\n" m.Ast.mname msg;
+                  None))
+        (from_files @ generated)
+    in
+    if items = [] then failwith "nothing to index (no FILES and --generate 0?)";
+    (* content-addressing: an existing index under --out seeds vector reuse *)
+    let previous =
+      match Serve.Index.load ~dir:out with Ok t -> Some t | Error _ -> None
+    in
+    let idx, report =
+      Serve.Index.build ~dim ?previous
+        ~embed_batch:(fun exs -> Liger_model.embed_programs model exs)
+        items
+    in
+    Serve.Index.save idx ~dir:out;
+    Printf.printf "index %s: %d entries (embedded %d, reused %d)\n" out
+      (Serve.Index.size idx) report.Serve.Index.embedded report.Serve.Index.reused
+  in
+  let model_dir =
+    Arg.(required & opt (some dir) None
+         & info [ "model" ] ~docv:"DIR" ~doc:"Saved model directory (see train --save).")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Index directory; an existing index there seeds \
+                   content-addressed reuse (unchanged methods keep their vectors).")
+  in
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE" ~doc:"MiniJava source files to index (all methods).")
+  in
+  let generate =
+    Arg.(value & opt int 0
+         & info [ "generate" ] ~docv:"N"
+             ~doc:"Also index $(docv) generated corpus methods (deterministic in \
+                   --seed).")
+  in
+  let seed = Arg.(value & opt int 9 & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Build or refresh the content-addressed embedding index behind \
+             serve's /search: methods are keyed by AST hash, so rebuilding over \
+             an edited corpus re-embeds only what changed")
+    Term.(const run $ obs_term $ model_dir $ out $ files $ generate $ seed)
+
+let fetch_cmd =
+  let run url data lint =
+    let strip p s =
+      if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+      then String.sub s (String.length p) (String.length s - String.length p)
+      else s
+    in
+    let rest = strip "http://" url in
+    let host_port, path =
+      match String.index_opt rest '/' with
+      | Some i -> (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+      | None -> (rest, "/")
+    in
+    (* the client only speaks loopback; the host part merely carries the port *)
+    let port =
+      match String.index_opt host_port ':' with
+      | Some i ->
+          int_of_string (String.sub host_port (i + 1) (String.length host_port - i - 1))
+      | None -> 80
+    in
+    let body = Option.map read_file data in
+    let meth = match body with Some _ -> "POST" | None -> "GET" in
+    let resp = Serve.Client.request ~meth ?body ~port path in
+    (if lint then
+       match Liger_obs.Openmetrics.lint resp.Serve.Client.body with
+       | Ok samples -> Printf.printf "openmetrics: OK (%d samples)\n" samples
+       | Error msg ->
+           Printf.eprintf "openmetrics: %s\n" msg;
+           exit 1
+     else print_string resp.Serve.Client.body);
+    if resp.Serve.Client.status >= 400 then begin
+      Printf.eprintf "HTTP %d\n" resp.Serve.Client.status;
+      exit 1
+    end
+  in
+  let url = Arg.(required & pos 0 (some string) None & info [] ~docv:"URL") in
+  let data =
+    Arg.(value & opt (some file) None
+         & info [ "data" ] ~docv:"FILE" ~doc:"POST the contents of $(docv) as the body.")
+  in
+  let lint =
+    Arg.(value & flag
+         & info [ "lint-openmetrics" ]
+             ~doc:"Instead of printing the body, lint it as OpenMetrics text \
+                   exposition and exit non-zero if malformed.")
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:"Minimal dependency-free HTTP client for 127.0.0.1 (scripting against \
+             $(b,liger serve): exits non-zero on HTTP errors)")
+    Term.(const run $ url $ data $ lint)
+
 let () =
   Obs.init_logging ();
   (* env-var-only configuration; subcommand flags override via [obs_term] *)
@@ -896,4 +1145,4 @@ let () =
        (Cmd.group info
           [ trace_cmd; analyze_cmd; paths_cmd; dataset_cmd; train_cmd; predict_cmd;
             similar_cmd; probe_cmd; experiments_cmd; stats_cmd; top_cmd; report_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; serve_cmd; index_cmd; fetch_cmd ]))

@@ -17,10 +17,13 @@ type label =
 (** Statement trees with interned labels (fast TreeLSTM input). *)
 type itree = ILeaf of int | INode of int * itree list
 
+(* interning is a pure lookup (unseen → unk): the encode path must never
+   mutate the vocabulary — serving encodes user-submitted methods whose
+   identifiers were not in the training set ({!Vocab.lookup}) *)
 let rec intern_tree vocab = function
-  | Encode.Leaf tok -> ILeaf (Vocab.id vocab tok)
+  | Encode.Leaf tok -> ILeaf (Vocab.lookup vocab tok)
   | Encode.Node (label, children) ->
-      INode (Vocab.id vocab label, List.map (intern_tree vocab) children)
+      INode (Vocab.lookup vocab label, List.map (intern_tree vocab) children)
 
 (** One encoded blended-trace step: the statement tree, a memoization key
     (statements repeat across loop iterations, so per-forward TreeLSTM
@@ -93,7 +96,7 @@ let encode_trace ?(keep = fun _ -> true) cfg vocab (b : Blended.t) : enc_trace =
               Array.of_list
                 (List.map
                    (fun (_, toks) ->
-                     Array.of_list (List.map (Vocab.id vocab) toks))
+                     Array.of_list (List.map (Vocab.lookup vocab) toks))
                    (Encode.state_tokens ~keep cfg.trace_cfg env)))
             step.Blended.states
         in
@@ -119,7 +122,7 @@ let encode_example cfg vocab meth (blended : Blended.t list) label : enc_example
   Liger_obs.Metrics.add "encode.traces" (List.length chosen);
   let target_ids =
     match label with
-    | Name name -> List.map (fun t -> Vocab.id vocab t) (Subtoken.split name)
+    | Name name -> List.map (fun t -> Vocab.lookup vocab t) (Subtoken.split name)
     | Class c -> [ c ]
   in
   (* the slice keep-predicate prunes value columns and the name layout in
@@ -128,7 +131,7 @@ let encode_example cfg vocab meth (blended : Blended.t list) label : enc_example
   let var_name_ids =
     Array.of_list
       (List.filter_map
-         (fun x -> if keep x then Some (Vocab.id vocab ("var_" ^ x)) else None)
+         (fun x -> if keep x then Some (Vocab.lookup vocab ("var_" ^ x)) else None)
          (Ast.declared_vars meth))
   in
   {

@@ -629,6 +629,25 @@ let loss_batch t btape ?(view = Common.full_view) (exs : Common.enc_example arra
   in
   (losses, stats)
 
+(** Batched program embeddings: one forward over a [G]-lane batch, one
+    vector per example.  This is the serving entry point ([liger serve]):
+    the batched forward deduplicates trees/states and gathers exact rows,
+    so each lane's vector is bitwise identical whether the example is
+    embedded alone or inside a larger batch — the property the request
+    coalescer's equality test pins down. *)
+let embed_programs t ?(view = Common.full_view) (exs : Common.enc_example array) =
+  if Array.length exs = 0 then [||]
+  else begin
+    let btape = Batched.tape () in
+    let stats = { static_weight_sum = 0.0; fused_steps = 0 } in
+    let enc = encode_batch t btape ~view ~stats exs in
+    let out =
+      Array.init (Array.length exs) (fun g -> Array.copy (Batched.row_value enc.benc_prog g))
+    in
+    Batched.discard btape;
+    out
+  end
+
 (** Batched greedy naming prediction; one id list per example. *)
 let predict_name_ids_batch t ?(view = Common.full_view) (exs : Common.enc_example array) =
   match t.decoder with

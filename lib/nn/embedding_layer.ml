@@ -28,8 +28,9 @@ let embed_id t tape i =
   if P.on () then P.with_layer layer (fun () -> embed_id_impl t tape i)
   else embed_id_impl t tape i
 
-(** Embedding of a token string (interned through the frozen vocabulary). *)
-let embed t tape tok = embed_id t tape (Vocab.id t.vocab tok)
+(** Embedding of a token string; unseen tokens use the [unk] row (pure
+    lookup — never grows the vocabulary, even unfrozen). *)
+let embed t tape tok = embed_id t tape (Vocab.lookup t.vocab tok)
 
 let vocab_size t = Vocab.size t.vocab
 
@@ -46,5 +47,5 @@ let embed_ids t btape ids =
   if P.on () then P.with_layer layer (fun () -> embed_ids_impl t btape ids)
   else embed_ids_impl t btape ids
 
-(** Batched lookup of token strings. *)
-let embed_batch t btape toks = embed_ids t btape (Array.map (Vocab.id t.vocab) toks)
+(** Batched lookup of token strings; unseen tokens use the [unk] row. *)
+let embed_batch t btape toks = embed_ids t btape (Array.map (Vocab.lookup t.vocab) toks)

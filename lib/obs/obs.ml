@@ -1036,6 +1036,44 @@ let render_top ?prev ?health ~source cur : (string, string) result =
       (match g "train.tape_nodes" with
       | Some n -> line "tape: %.0f nodes on the last batched tape" n
       | None -> ());
+      (* serving endpoints (when a liger serve process is exporting):
+         request counts, latency quantiles and per-interval QPS *)
+      List.iter
+        (fun (e : Metrics.entry) ->
+          match e.Metrics.e_value with
+          | Metrics.H h when h.Metrics.count > 0 ->
+              let endpoint =
+                match List.assoc_opt "endpoint" e.Metrics.e_labels with
+                | Some ep -> ep
+                | None -> "?"
+              in
+              let qps =
+                match
+                  ( Option.bind prev_snap (fun ps ->
+                        Metrics.hist_view ~labels:e.Metrics.e_labels ps
+                          "serve.latency_seconds"),
+                    ts cur,
+                    Option.bind prev ts )
+                with
+                | Some ph, Some t1, Some t0 when t1 > t0 ->
+                    Printf.sprintf ", %.1f qps"
+                      (float_of_int (h.Metrics.count - ph.Metrics.count) /. (t1 -. t0))
+                | _ -> ""
+              in
+              line "serve[%s]: %d reqs, p50 %.1f ms, p99 %.1f ms%s" endpoint
+                h.Metrics.count
+                (1000.0 *. Metrics.quantile h 0.5)
+                (1000.0 *. Metrics.quantile h 0.99)
+                qps
+          | _ -> ())
+        (Metrics.entries_with snap "serve.latency_seconds");
+      (match g "serve.cache_hits" with
+      | Some hits ->
+          let v name = Option.value ~default:0.0 (g name) in
+          line "serve cache: %.0f entries, %.0f hits / %.0f misses, %.0f evicted"
+            (v "serve.cache_entries") hits (v "serve.cache_misses")
+            (v "serve.cache_evictions")
+      | None -> ());
       (* embedding drift (when the dynamics streams are recording) *)
       List.iter
         (fun (e : Metrics.entry) ->

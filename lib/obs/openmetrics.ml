@@ -81,6 +81,17 @@ let help_table =
     ("obs.trace_events_dropped", "Span events dropped at the trace buffer cap");
     ("fuzz.runs", "Differential fuzzing iterations executed");
     ("fuzz.failures", "Differential fuzzing oracle failures");
+    ("serve.requests", "HTTP requests served, by endpoint and status");
+    ("serve.latency_seconds", "Request latency in seconds, by endpoint");
+    ("serve.inflight", "Application requests currently inside the admission gate");
+    ("serve.rejected_busy", "Requests refused with 429 at the inflight cap");
+    ("serve.deadline_expired", "Requests answered 408 before occupying a batch lane");
+    ("serve.batches", "Coalesced batched forwards run by the serving engine");
+    ("serve.batch_lanes", "Total lanes across coalesced batched forwards");
+    ("serve.cache_entries", "Entries currently in the embedding LRU cache");
+    ("serve.cache_hits", "Embedding cache hits (AST-hash keyed)");
+    ("serve.cache_misses", "Embedding cache misses");
+    ("serve.cache_evictions", "Embedding cache evictions at capacity");
   ]
 
 let help_for name =

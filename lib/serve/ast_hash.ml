@@ -1,0 +1,35 @@
+(** Content addressing for methods: a 64-bit FNV-1a hash of the
+    pretty-printed source.
+
+    The pretty-printer normalizes whitespace and layout, and the roundtrip
+    fuzz oracle guarantees [parse (pretty m)] reproduces [m] (statement ids
+    are not printed), so the hash is stable under pretty→parse roundtrips —
+    two submissions of the same method body always share a cache entry and
+    an index entry, however they were formatted. *)
+
+open Liger_lang
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let of_string s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let hex h = Printf.sprintf "%016Lx" h
+
+(** The hash of a method's normalized source, as 16 lowercase hex digits. *)
+let of_meth (m : Ast.meth) = hex (of_string (Pretty.meth_to_string m))
+
+(** A deterministic RNG seed derived from a hash string — serving runs
+    the feedback generator with a per-method seed so equal methods get
+    equal traces regardless of request order or concurrency. *)
+let seed_of_hex hash =
+  (* fold the hex string through FNV again; keep it positive and small
+     enough for Rng.create *)
+  Int64.to_int (Int64.logand (of_string hash) 0x3fffffffL)

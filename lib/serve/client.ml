@@ -1,0 +1,111 @@
+(** A small blocking HTTP/1.1 client for the loopback tests, the bench
+    load generator and [liger fetch].  One request per call; responses
+    are framed by [Content-Length] (every response this stack emits
+    carries one). *)
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+let read_until_blank fd =
+  (* accumulate until "\r\n\r\n"; returns (head, leftover-after-head) *)
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 2048 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match Http.find_head_end s (String.length s) with
+    | Some i -> (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+    | None ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then failwith "connection closed before response head"
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        end
+  in
+  go ()
+
+let read_n fd already n =
+  let buf = Buffer.create n in
+  Buffer.add_string buf already;
+  let chunk = Bytes.create 4096 in
+  while Buffer.length buf < n do
+    let k = Unix.read fd chunk 0 (min (Bytes.length chunk) (n - Buffer.length buf)) in
+    if k = 0 then failwith "connection closed mid-body";
+    Buffer.add_subbytes buf chunk 0 k
+  done;
+  Buffer.sub buf 0 n
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> failwith "empty response head"
+  | status_line :: header_lines ->
+      let strip line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      let status =
+        match String.split_on_char ' ' (strip status_line) with
+        | _ :: code :: _ -> (
+            match int_of_string_opt code with
+            | Some c -> c
+            | None -> failwith "bad status code")
+        | _ -> failwith "bad status line"
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            let line = strip line in
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim (String.sub line (i + 1) (String.length line - i - 1)) ))
+          header_lines
+      in
+      (status, headers)
+
+(** Send one request to [127.0.0.1:port] and read the full response. *)
+let request ?(meth = "GET") ?(headers = []) ?body ~port path : response =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+      Buffer.add_string buf "Host: 127.0.0.1\r\n";
+      List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) headers;
+      (match body with
+      | Some b -> Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length b))
+      | None -> ());
+      Buffer.add_string buf "Connection: close\r\n\r\n";
+      (match body with Some b -> Buffer.add_string buf b | None -> ());
+      let payload = Buffer.contents buf in
+      let bytes = Bytes.of_string payload in
+      let n = Bytes.length bytes in
+      let rec send off = if off < n then send (off + Unix.write fd bytes off (n - off)) in
+      send 0;
+      let head, leftover = read_until_blank fd in
+      let status, headers = parse_head head in
+      let body =
+        match List.assoc_opt "content-length" headers with
+        | Some len -> (
+            match int_of_string_opt len with
+            | Some len -> read_n fd leftover len
+            | None -> failwith "bad content-length in response")
+        | None ->
+            (* no framing: read to EOF (we always send Connection: close) *)
+            let buf = Buffer.create 1024 in
+            Buffer.add_string buf leftover;
+            let chunk = Bytes.create 4096 in
+            let rec drain () =
+              let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+              if k > 0 then begin
+                Buffer.add_subbytes buf chunk 0 k;
+                drain ()
+              end
+            in
+            drain ();
+            Buffer.contents buf
+      in
+      { status; headers; body })

@@ -1,0 +1,190 @@
+(** Request coalescing: concurrent submissions are collected for up to a
+    window and run as ONE batched computation.
+
+    A burst of N concurrent [submit]s becomes a single [run] call over an
+    N-element array — for the embedding engine that means one [Batched]
+    forward whose lanes are the queued requests, padded exactly like a
+    training mini-batch.  The worker wakes on the first submission, sleeps
+    the coalescing window so the rest of the burst can queue behind it,
+    then drains the queue (up to [max_batch]) into one batch.
+
+    Deadlines are enforced at batch-assembly time: a waiter whose deadline
+    has passed is completed as [Error `Expired] and {e never occupies a
+    batch lane} — cancelled work costs the model nothing.  OCaml's
+    [Condition] has no timed wait, so expiry is only observed at assembly
+    points; that is exactly when a lane would have been allocated, which
+    is the resource the deadline protects. *)
+
+type ('req, 'resp) waiter = {
+  req : 'req;
+  deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+  mutable state : ('req, 'resp) state;
+}
+
+and ('req, 'resp) state =
+  | Waiting
+  | Done of 'resp
+  | Expired
+  | Failed of exn
+
+type ('req, 'resp) t = {
+  window_s : float;
+  max_batch : int;
+  run : 'req array -> 'resp array;
+  lock : Mutex.t;
+  cond : Condition.t;  (* signals both the worker and completed waiters *)
+  queue : ('req, 'resp) waiter Queue.t;
+  mutable stopped : bool;
+  mutable batches : int;      (* batched [run] invocations *)
+  mutable lanes : int;        (* total lanes across all batches *)
+  mutable expired : int;      (* waiters dropped at assembly *)
+  mutable worker : Thread.t option;
+}
+
+let complete_all t state waiters =
+  List.iter (fun w -> w.state <- state) waiters;
+  ignore t
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopped do
+    Condition.wait t.cond t.lock
+  done;
+  if t.stopped then begin
+    (* drain: pending waiters can never run, fail them as expired *)
+    let pending = List.of_seq (Queue.to_seq t.queue) in
+    Queue.clear t.queue;
+    complete_all t Expired pending;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock
+  end
+  else begin
+    Mutex.unlock t.lock;
+    (* the coalescing window: let the rest of the burst queue up *)
+    if t.window_s > 0.0 then Thread.delay t.window_s;
+    Mutex.lock t.lock;
+    let now = Unix.gettimeofday () in
+    let batch = ref [] and n = ref 0 in
+    while (not (Queue.is_empty t.queue)) && !n < t.max_batch do
+      let w = Queue.pop t.queue in
+      match w.deadline with
+      | Some d when d <= now ->
+          (* expired before a lane was allocated: drop, don't batch *)
+          w.state <- Expired;
+          t.expired <- t.expired + 1
+      | _ ->
+          batch := w :: !batch;
+          incr n
+    done;
+    let batch = Array.of_list (List.rev !batch) in
+    Mutex.unlock t.lock;
+    (if Array.length batch > 0 then
+       let result =
+         try Ok (t.run (Array.map (fun w -> w.req) batch)) with e -> Error e
+       in
+       Mutex.lock t.lock;
+       (match result with
+       | Ok resps when Array.length resps = Array.length batch ->
+           t.batches <- t.batches + 1;
+           t.lanes <- t.lanes + Array.length batch;
+           Array.iteri (fun i w -> w.state <- Done resps.(i)) batch
+       | Ok _ ->
+           Array.iter
+             (fun w -> w.state <- Failed (Failure "coalescer: run returned wrong arity"))
+             batch
+       | Error e -> Array.iter (fun w -> w.state <- Failed e) batch);
+       Mutex.unlock t.lock);
+    Mutex.lock t.lock;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    worker_loop t
+  end
+
+let create ?(max_batch = 64) ~window_s ~run () =
+  if max_batch < 1 then invalid_arg "Coalescer.create: max_batch must be >= 1";
+  let t =
+    {
+      window_s;
+      max_batch;
+      run;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      batches = 0;
+      lanes = 0;
+      expired = 0;
+      worker = None;
+    }
+  in
+  t.worker <- Some (Thread.create worker_loop t);
+  t
+
+(** Submit one request and block until its batch completes.  [Error
+    `Expired] means the deadline passed before a batch lane was allocated
+    (or the coalescer was stopped); a [run] exception re-raises in every
+    waiter of its batch. *)
+let submit t ?deadline req : ('resp, [ `Expired ]) result =
+  (match deadline with
+  | Some d when d <= Unix.gettimeofday () -> raise_notrace Exit
+  | _ -> ());
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    Error `Expired
+  end
+  else begin
+    let w = { req; deadline; state = Waiting } in
+    Queue.push w t.queue;
+    Condition.broadcast t.cond;
+    while w.state = Waiting do
+      Condition.wait t.cond t.lock
+    done;
+    Mutex.unlock t.lock;
+    match w.state with
+    | Done resp -> Ok resp
+    | Expired -> Error `Expired
+    | Failed e -> raise e
+    | Waiting -> assert false
+  end
+
+let submit t ?deadline req =
+  try submit t ?deadline req
+  with Exit ->
+    (* deadline already passed at submission: count it like an assembly
+       drop — it provably never reached a lane *)
+    Mutex.lock t.lock;
+    t.expired <- t.expired + 1;
+    Mutex.unlock t.lock;
+    Error `Expired
+
+(** Stop the worker; pending and future submissions complete as
+    [Error `Expired]. *)
+let stop t =
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  match t.worker with
+  | Some th ->
+      t.worker <- None;
+      Thread.join th
+  | None -> ()
+
+let batches t =
+  Mutex.lock t.lock;
+  let n = t.batches in
+  Mutex.unlock t.lock;
+  n
+
+let lanes t =
+  Mutex.lock t.lock;
+  let n = t.lanes in
+  Mutex.unlock t.lock;
+  n
+
+let expired t =
+  Mutex.lock t.lock;
+  let n = t.expired in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,33 @@
+(** Bounded-inflight admission control.
+
+    The server admits at most [max_inflight] application requests at a
+    time; the next one is refused immediately ([try_acquire] = false → a
+    fast 429 with [Retry-After]) instead of queueing without bound.  The
+    bound is what keeps tail latency honest under overload: queued work
+    would all be admitted eventually and time out together. *)
+
+type t = { max_inflight : int; mutable inflight : int; lock : Mutex.t }
+
+let create ~max_inflight =
+  if max_inflight < 1 then invalid_arg "Gate.create: max_inflight must be >= 1";
+  { max_inflight; inflight = 0; lock = Mutex.create () }
+
+let try_acquire t =
+  Mutex.lock t.lock;
+  let ok = t.inflight < t.max_inflight in
+  if ok then t.inflight <- t.inflight + 1;
+  Mutex.unlock t.lock;
+  ok
+
+let release t =
+  Mutex.lock t.lock;
+  if t.inflight > 0 then t.inflight <- t.inflight - 1;
+  Mutex.unlock t.lock
+
+let inflight t =
+  Mutex.lock t.lock;
+  let n = t.inflight in
+  Mutex.unlock t.lock;
+  n
+
+let max_inflight t = t.max_inflight

@@ -55,6 +55,15 @@ let id v tok =
   | Some i -> i
   | None -> if v.frozen then unk_id else add v tok
 
+(** Pure lookup: the id of [tok] if interned, [unk] otherwise — never
+    mutates, frozen or not.  The encode path uses this instead of {!id}
+    so that out-of-vocabulary sub-tokens in user-submitted methods (the
+    serving path) map to [unk] everywhere instead of growing an unfrozen
+    table from concurrent readers (ids past the embedding rows, resized
+    hashtables under readers). *)
+let lookup v tok =
+  match Hashtbl.find_opt v.tbl tok with Some i -> i | None -> unk_id
+
 let mem v tok = Hashtbl.mem v.tbl tok
 
 let freeze v = v.frozen <- true

@@ -146,6 +146,51 @@ test -f runs/ci-probe/probe_accuracy.txt
 grep -q "live-after" runs/ci-probe/probe_accuracy.txt
 echo "   ok: runs/ci-probe/probe_accuracy.txt written (uploaded as a CI artifact)"
 
+echo "== serve smoke: save a model, build the index twice, drive every endpoint"
+rm -rf runs/ci-serve-model runs/ci-serve-index runs/ci-serve runs/ci-serve.port
+dune exec --no-build bin/liger_cli.exe -- train -n 16 --epochs 1 --batch 16 \
+  --save runs/ci-serve-model > /dev/null 2>&1
+dune exec --no-build bin/liger_cli.exe -- index --model runs/ci-serve-model \
+  --out runs/ci-serve-index --generate 8 --seed 7 > /dev/null
+# content-addressed rebuild: an unchanged corpus must re-embed nothing
+dune exec --no-build bin/liger_cli.exe -- index --model runs/ci-serve-model \
+  --out runs/ci-serve-index --generate 8 --seed 7 | grep -q "embedded 0," || {
+    echo "   ERROR: index rebuild re-embedded unchanged methods" >&2; exit 1; }
+# run the built binary directly so $! is the server itself, not a dune wrapper
+LIGER_RUN_ID=ci-serve LIGER_METRICS_EVERY=1 ./_build/default/bin/liger_cli.exe serve \
+  --model runs/ci-serve-model --index runs/ci-serve-index \
+  --port 0 --port-file runs/ci-serve.port &
+SERVE_PID=$!
+i=0
+while [ ! -s runs/ci-serve.port ] && [ $i -lt 100 ]; do i=$((i + 1)); sleep 0.1; done
+test -s runs/ci-serve.port || { echo "   ERROR: server never bound a port" >&2; exit 1; }
+PORT=$(cat runs/ci-serve.port)
+dune exec --no-build bin/liger_cli.exe -- fetch "http://127.0.0.1:$PORT/healthz" \
+  | grep -q ok
+dune exec --no-build bin/liger_cli.exe -- fetch "http://127.0.0.1:$PORT/embed" \
+  --data examples/minijava/sum_to.mj | grep -q '"vector":\['
+dune exec --no-build bin/liger_cli.exe -- fetch "http://127.0.0.1:$PORT/search?k=3" \
+  --data examples/minijava/sum_to.mj | grep -q '"neighbors":\['
+dune exec --no-build bin/liger_cli.exe -- fetch "http://127.0.0.1:$PORT/suggest" \
+  --data examples/minijava/sum_to.mj | grep -q '"subtokens":\['
+dune exec --no-build bin/liger_cli.exe -- fetch --lint-openmetrics \
+  "http://127.0.0.1:$PORT/metrics"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+test -f runs/ci-serve/metrics.jsonl || {
+  echo "   ERROR: serve run left no ledger" >&2; exit 1; }
+test -f runs/ci-serve/metrics.json || {
+  echo "   ERROR: SIGTERM shutdown left no final ledger tick" >&2; exit 1; }
+dune exec --no-build bin/liger_cli.exe -- stats --validate runs/ci-serve/metrics.jsonl
+echo "   ok: all endpoints answered; clean SIGTERM left the final ledger tick"
+
+echo "== serve loopback bench: sustained QPS + p99 gates, history record"
+dune exec --no-build bench/main.exe -- serve --qps 50 --duration 10 \
+  --history BENCH_history.jsonl --check-regression > /dev/null
+tail -n 1 BENCH_history.jsonl | grep -q '"benchmark":"serve.loopback"' || {
+  echo "   ERROR: serve bench did not append to BENCH_history.jsonl" >&2; exit 1; }
+echo "   ok: serve.loopback record appended to BENCH_history.jsonl"
+
 echo "== liger analyze (clean examples, strict)"
 for f in examples/minijava/sum_to.mj examples/minijava/find_max.mj; do
   dune exec --no-build bin/liger_cli.exe -- analyze "$f" --strict > /dev/null

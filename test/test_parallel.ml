@@ -96,16 +96,13 @@ let test_diagnostics_histograms () =
       Alcotest.(check bool) "dispatch time non-negative" true (h.OM.sum >= 0.0));
   (* the queue-wait sample is recorded when a worker picks the share up,
      which can lag the caller's drain; poll until it lands *)
-  let rec await tries =
-    match OM.hist_view (OM.snapshot ()) "parallel.queue_wait_seconds" with
-    | Some h when h.OM.count >= 1 ->
-        Alcotest.(check bool) "queue wait non-negative" true (h.OM.sum >= 0.0)
-    | _ when tries > 0 ->
-        Unix.sleepf 0.005;
-        await (tries - 1)
-    | _ -> Alcotest.fail "queue_wait_seconds never observed"
+  let h =
+    Testutil.poll_for ~what:"queue_wait_seconds sample" (fun () ->
+        match OM.hist_view (OM.snapshot ()) "parallel.queue_wait_seconds" with
+        | Some h when h.OM.count >= 1 -> Some h
+        | _ -> None)
   in
-  await 400
+  Alcotest.(check bool) "queue wait non-negative" true (h.OM.sum >= 0.0)
 
 (* LIGER_MIN_BATCH: batches below the floor run sequentially (no dispatch) *)
 let test_min_batch_floor () =

@@ -1,0 +1,43 @@
+(** Shared helpers for the test suite.
+
+    The polling helpers replace bare [Unix.sleepf] waits: a test that
+    needs an asynchronous effect to land states the predicate it is
+    waiting for and a hard timeout, so it waits exactly as long as
+    necessary and fails with a message (not a hang, not a flake) when
+    the condition never arrives. *)
+
+(** [poll_until ?timeout_s ?interval_s pred] evaluates [pred] until it
+    returns [true]; [false] if [timeout_s] elapses first. *)
+let poll_until ?(timeout_s = 5.0) ?(interval_s = 0.002) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf interval_s;
+      go ()
+    end
+  in
+  go ()
+
+(** [poll_for ~what f] evaluates [f] until it returns [Some v];
+    [Alcotest.fail]s naming [what] on timeout. *)
+let poll_for ?(timeout_s = 5.0) ?(interval_s = 0.002) ~what f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match f () with
+    | Some v -> v
+    | None ->
+        if Unix.gettimeofday () >= deadline then
+          Alcotest.failf "timed out after %.1fs waiting for %s" timeout_s what
+        else begin
+          Unix.sleepf interval_s;
+          go ()
+        end
+  in
+  go ()
+
+(** Assert [pred] becomes true within the timeout, failing with [what]. *)
+let require ?timeout_s ?interval_s ~what pred =
+  if not (poll_until ?timeout_s ?interval_s pred) then
+    Alcotest.failf "timed out waiting for %s" what
